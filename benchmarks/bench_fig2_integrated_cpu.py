@@ -1,0 +1,34 @@
+"""Figure 2: integrated CPU usage (CPU-days) by VO, 30 days from
+2003-10-25.
+
+Paper shape: both LHC experiments ran production at scale during the
+SC2003 window; USCMS and USATLAS dominate the integrated CPU-days, with
+the other VOs contributing smaller shares.
+"""
+
+from repro.analysis import figure2_integrated_cpu
+
+from .conftest import SC2003_WINDOW, SCALE
+
+
+def test_fig2_integrated_cpu(benchmark, reference_viewer):
+    t0, t1 = SC2003_WINDOW
+
+    def compute():
+        return figure2_integrated_cpu(reference_viewer, t0, t1, rescale=SCALE)
+
+    data, text = benchmark(compute)
+    print("\n" + text)
+
+    # Shape: the LHC VOs dominate integrated CPU in the SC2003 window.
+    assert data, "no CPU consumed in the window"
+    lhc = data.get("uscms", 0) + data.get("usatlas", 0)
+    total = sum(data.values())
+    assert lhc > 0.5 * total, (
+        f"LHC experiments should dominate Fig. 2 (got {lhc:.0f}/{total:.0f})"
+    )
+    # USCMS is the single largest consumer (paper: 33 750 of ~41 000
+    # total CPU-days across the whole window).
+    assert max(data, key=data.get) == "uscms"
+    # Multiple VOs ran concurrently on shared resources.
+    assert len(data) >= 4

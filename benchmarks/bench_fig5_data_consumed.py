@@ -1,0 +1,36 @@
+"""Figure 5: data consumed by Grid3 sites, by responsible VO, over the
+30 days around SC2003.
+
+Paper shape: "Nearly 100 TB was transferred during 30 days before and
+after SC2003 ... The GridFTP demonstrator accounted for most data
+transferred on Grid3", and the §6.3/§7 rate milestones: sustained
+2 TB/day, peak 4 TB/day.
+"""
+
+from repro.analysis import figure5_data_consumed
+from repro.sim import bytes_to_tb
+
+from .conftest import SC2003_WINDOW, SCALE
+
+
+def test_fig5_data_consumed(benchmark, reference_run, reference_viewer):
+    t0, t1 = SC2003_WINDOW
+
+    def compute():
+        return figure5_data_consumed(reference_viewer, t0, t1, rescale=SCALE)
+
+    data, text = benchmark(compute)
+    print("\n" + text)
+
+    total_tb = data.pop("__total__")
+    # Shape 1: tens of TB over the 30-day window (paper: ~100 TB).
+    assert 20 <= total_tb <= 300, f"30-day total {total_tb:.1f} TB off-shape"
+    # Shape 2: the demonstrator VO (ivdgl carries the GridFTP demo)
+    # accounts for most transferred data.
+    assert max(data, key=data.get) == "ivdgl"
+    assert data["ivdgl"] > 0.5 * sum(data.values())
+    # Shape 3: the daily-rate milestone — peak day >= the 2 TB target.
+    ledger = reference_run.ledger
+    peak_tb = bytes_to_tb(ledger.peak_daily_bytes(t0, t1)) * SCALE
+    print(f"\npeak daily transfer (rescaled): {peak_tb:.2f} TB (paper: 4 TB)")
+    assert peak_tb >= 2.0, f"peak day {peak_tb:.2f} TB misses the 2 TB target"

@@ -1,0 +1,40 @@
+"""Figure 6: distribution of jobs run on Grid3 by month, October 2003
+through April 2004.
+
+Paper shape: "the obvious ramp up of computational production jobs
+appears in 2003 and a more sustained production rate appears in 2004"
+— October is the smallest month, November 2003 spikes (SC2003), and
+the 2004 months hold a sustained plateau.
+"""
+
+from repro.analysis import figure6_jobs_by_month
+
+from .conftest import SCALE
+
+
+def test_fig6_jobs_by_month(benchmark, reference_viewer):
+    def compute():
+        return figure6_jobs_by_month(reference_viewer, rescale=SCALE)
+
+    data, text = benchmark(compute)
+    print("\n" + text)
+
+    months = list(data)
+    # The window covers Oct 2003 .. Apr 2004.
+    assert months[0] == "10-2003"
+    assert "04-2004" in months
+    # Shape 1: the 2003 ramp — October (a partial month plus spin-up)
+    # is smaller than November.
+    assert data["10-2003"] < data["11-2003"]
+    # Shape 2: sustained 2004 production — every full 2004 month stays
+    # within a factor of ~3 of the 2004 mean (a plateau, not decay to
+    # zero).
+    y2004 = [v for m, v in data.items() if m.endswith("2004")]
+    assert len(y2004) >= 3
+    mean_2004 = sum(y2004) / len(y2004)
+    assert all(v > mean_2004 / 3 for v in y2004), "2004 production not sustained"
+    # Shape 3: total job count lands near Table 1's 291k after rescale
+    # (within a factor of ~2: scaled runs lose some of the tails).
+    total = sum(data.values())
+    print(f"\ntotal jobs (rescaled): {total:,.0f} (paper: 291,052)")
+    assert 291_052 / 2.5 <= total <= 291_052 * 2.5

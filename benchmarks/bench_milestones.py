@@ -1,0 +1,39 @@
+"""§7 milestones and metrics: the paper's target/actual table.
+
+Paper actuals: CPUs 2163 (peak 2800), users 102, applications 10,
+concurrent-application sites 17, 4 TB/day transferred, 40-70 % resource
+utilisation, job efficiency varying (>90 % at well-run sites), 1300
+peak concurrent jobs, <2 FTE sustained operations load.
+"""
+
+from repro.ops import PAPER_ACTUALS, PAPER_TARGETS
+
+from .conftest import FULL_WINDOW
+
+
+def test_section7_milestones(benchmark, reference_run):
+    grid = reference_run
+
+    def compute():
+        return grid.milestones(0.0, grid.engine.now)
+
+    tracker = benchmark(compute)
+    print("\n" + tracker.render())
+
+    by_key = {m.key: m for m in tracker.milestones()}
+
+    # The paper "met and even surpassed most of these milestones" —
+    # require most targets met here too.
+    met = sum(1 for m in tracker.milestones() if m.met)
+    assert met >= 6, f"only {met}/9 milestones met"
+
+    # Individual shape checks against the paper's actuals.
+    assert by_key["cpus"].achieved >= 2000          # paper: 2163
+    assert by_key["users"].achieved == 102          # paper: 102 exactly
+    assert by_key["applications"].achieved == 10    # paper: 10
+    assert by_key["concurrent_app_sites"].achieved > 10   # paper: 17
+    assert by_key["data_tb_per_day"].achieved >= 2.0      # paper: 4
+    assert by_key["peak_concurrent_jobs"].achieved >= 1000  # paper: 1300
+    assert by_key["support_fte"].achieved < 2.0     # paper: <2 sustained
+    # Efficiency "varies"; the stable-grid figure exceeds the 75% target.
+    assert by_key["job_efficiency"].achieved >= 0.70

@@ -1,0 +1,68 @@
+"""Table 1: Grid3 computational job statistics per user class over
+2003-10-23 .. 2004-04-23 (source: the ACDC job monitor).
+
+Shape checks against the paper's table:
+  * job-count ordering: Exerciser >> iVDGL > USCMS > USATLAS > SDSS > BTEV > LIGO
+  * runtime ordering: USCMS has by far the longest mean runtime,
+    USATLAS second; the Exerciser the shortest;
+  * CPU ordering: USCMS dominates total CPU-days;
+  * peak months: the LHC-era classes peak in 11-2003;
+  * user counts are exact (they are configuration, not outcome).
+"""
+
+from repro.analysis import PAPER_TABLE1, compute_table1, render_table1
+
+from .conftest import FULL_WINDOW, SCALE
+
+
+def test_table1_job_statistics(benchmark, reference_run):
+    db = reference_run.acdc_db
+    cal = reference_run.calendar
+
+    def compute():
+        return compute_table1(db, cal)
+
+    rows = benchmark(compute)
+    print("\nMeasured (at scale %.0f; job counts x%.0f for paper comparison):" % (SCALE, SCALE))
+    print(render_table1(rows))
+    print("\nPaper Table 1 reference:")
+    for cls, ref in PAPER_TABLE1.items():
+        print(f"  {cls:<10} jobs={ref['jobs']:>6} avg={ref['avg_runtime_hr']:>6.2f}h "
+              f"cpu-days={ref['total_cpu_days']:>9.1f} peak={ref['peak_month']}")
+
+    # Every class produced records.
+    for cls in ("Exerciser", "iVDGL", "USCMS", "USATLAS", "SDSS", "BTEV", "LIGO"):
+        assert cls in rows, f"class {cls} missing from Table 1"
+
+    jobs = {cls: row.jobs for cls, row in rows.items()}
+    # Job-count ordering (the big separations; neighbours can swap at
+    # small scale, the extremes cannot).
+    assert jobs["Exerciser"] == max(jobs.values())
+    assert jobs["LIGO"] == min(jobs.values())
+    assert jobs["Exerciser"] > jobs["iVDGL"] > jobs["USATLAS"]
+    assert jobs["USCMS"] > jobs["SDSS"]
+
+    # Runtime ordering.
+    avg = {cls: row.avg_runtime_hr for cls, row in rows.items()}
+    assert avg["USCMS"] == max(avg.values())
+    assert avg["USCMS"] > 2 * avg["USATLAS"] > 2 * avg["iVDGL"]
+    assert avg["Exerciser"] < 0.5
+
+    # CPU dominance.
+    cpu = {cls: row.total_cpu_days for cls, row in rows.items()}
+    assert cpu["USCMS"] > 0.5 * sum(cpu.values())
+
+    # Peak months for the SC2003-era classes.
+    assert rows["USCMS"].peak_month == "11-2003"
+    assert rows["USATLAS"].peak_month == "11-2003"
+    assert rows["BTEV"].peak_month == "11-2003"
+    assert rows["iVDGL"].peak_month == "11-2003"
+
+    # User counts are configured, hence exact.
+    assert rows["BTEV"].users == 1
+    assert rows["Exerciser"].users == 3
+    assert rows["USCMS"].users <= 26 and rows["USATLAS"].users <= 25
+
+    # iVDGL's favourite-resource concentration (paper: 88.1 % of peak
+    # production from one resource).
+    assert rows["iVDGL"].max_single_resource_pct > 40.0

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive piece — simulating the full 183-day Table 1 observation
+window with all eight demonstrators — runs **once per session** at
+``SCALE`` (default 50: a 27-site, ~56-CPU looking-glass grid) and is
+shared by every figure/table bench.  The per-bench ``benchmark`` calls
+then time the *analysis* (the part a paper reader would re-run), while
+shape assertions check the reproduction against the paper's reported
+values.
+
+Extensive quantities are rescaled by ``SCALE`` when compared to the
+paper; intensive ones (rates, fractions, orderings) compare directly.
+Set ``GRID3_BENCH_SCALE`` in the environment to trade fidelity for
+speed.
+"""
+
+import datetime as dt
+import os
+
+import pytest
+
+from repro import Grid3, Grid3Config
+from repro.sim import DAY, SimCalendar
+
+#: Workload/CPU divisor for the reference run.
+SCALE = float(os.environ.get("GRID3_BENCH_SCALE", "50"))
+
+#: The paper's figure windows, as sim-time offsets from the epoch.
+_CAL = SimCalendar()
+SC2003_WINDOW = _CAL.window(dt.datetime(2003, 10, 25), 30)       # Fig. 2/3/5
+CMS_WINDOW = _CAL.window(dt.datetime(2003, 11, 1), 150)          # Fig. 4
+FULL_WINDOW = (0.0, 183 * DAY)                                   # Table 1 / Fig. 6
+
+
+@pytest.fixture(scope="session")
+def reference_run():
+    """The full-mix 183-day Grid3 run behind Figures 2-6 and Table 1."""
+    grid = Grid3(Grid3Config(seed=42, scale=SCALE, duration_days=183))
+    grid.run_full()
+    return grid
+
+
+@pytest.fixture(scope="session")
+def reference_viewer(reference_run):
+    return reference_run.viewer()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Using Grid3 as a CS research laboratory (§1's first goal).
+
+"[Grid3 provides] a platform for experimental computer science research
+by GriPhyN and other grid researchers."  The §4.7 demonstrators were
+studies run against the production grid; this example runs one with the
+`repro.lab` harness: *how much does failure intensity cost, and how
+much of that cost does the operations model absorb?* — one experiment,
+a results table, and two quantified conclusions, in ~a minute.
+
+Run:  python examples/research_sweep.py
+"""
+
+from repro.failures import FailureProfile
+from repro.lab import ExperimentSpec, render_results, run_experiment
+from repro.sim import DAY, HOUR
+
+
+def main() -> None:
+    base = dict(
+        scale=400,
+        duration_days=8,
+        apps=["ivdgl", "btev"],
+        misconfig_probability=0.15,
+    )
+    metrics = {
+        "success": lambda grid: grid.acdc_db.success_rate(),
+        "cpu_days": lambda grid: grid.acdc_db.total_cpu_days(),
+        "wasted_h": lambda grid: sum(
+            r.runtime for r in grid.acdc_db.records(succeeded=False)
+        ) / HOUR,
+        "tickets": lambda grid: float(len(grid.igoc.tickets)),
+    }
+    spec = ExperimentSpec(
+        name="failure-intensity-study",
+        base=base,
+        variants={
+            "stable-era": dict(failures=FailureProfile.calm()),
+            "shakeout-era": dict(failures=FailureProfile.early()),
+            "shakeout-unattended": dict(
+                failures=FailureProfile.early(),
+                ops_team=False,                # nobody fixes anything
+                misconfig_probability=0.4,     # and installs were rough
+            ),
+        },
+        metrics=metrics,
+        repeats=3,
+    )
+    print(f"running {len(spec.variants)} variants x {spec.repeats} seeds "
+          "(each an 8-day grid simulation)...\n")
+    results = run_experiment(
+        spec, progress=lambda msg: print(f"  {msg}")
+    )
+    print("\n" + render_results(results))
+
+    by_name = {r.variant: r for r in results}
+    stable_t = by_name["stable-era"].mean("tickets")
+    shakeout_t = by_name["shakeout-era"].mean("tickets")
+    print(f"\nconclusion 1: the operations load scales with failure "
+          f"intensity — {stable_t:.0f} tickets/8d in the stable era vs "
+          f"{shakeout_t:.0f} in the shake-out era (why §7's <2 FTE "
+          "target was ambitious);")
+    attended = by_name["shakeout-era"].mean("success")
+    unattended = by_name["shakeout-unattended"].mean("success")
+    print(f"conclusion 2: the §5.4 support model is what keeps the grid "
+          f"usable — completion {attended:.0%} with operations vs "
+          f"{unattended:.0%} unattended under the same failure regime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Virtual data in action: SDSS cluster finding with Chimera (§4.3).
+
+Shows the virtual-data value proposition the GriPhyN tools were built
+for: register transformations and derivations once, then *derive*
+workflows — and when some outputs already exist (in RLS), the planner
+prunes their derivations, re-running only what's missing.
+
+The script runs an SDSS cluster-finding workflow end to end, deletes
+part of the catalog, and re-derives: only the damaged branch re-runs.
+
+Run:  python examples/sdss_virtual_data.py
+"""
+
+from repro import Grid3, Grid3Config
+from repro.failures import FailureProfile
+from repro.sim import GB, HOUR, MB
+from repro.workflow.chimera import Derivation, Transformation, VirtualDataCatalog
+from repro.workflow.pegasus import PegasusPlanner
+
+
+def build_catalog() -> VirtualDataCatalog:
+    vdc = VirtualDataCatalog()
+    vdc.add_transformation(Transformation("fieldPrep", runtime=0.5 * HOUR))
+    vdc.add_transformation(Transformation("brgSearch", runtime=1.0 * HOUR))
+    vdc.add_transformation(Transformation("clusterCatalog", runtime=0.5 * HOUR))
+    vdc.add_derivation(Derivation(
+        "prep", "fieldPrep", outputs=(("/sdss/run42/fields", 200 * MB),)
+    ))
+    searches = []
+    for f in range(6):
+        out = (f"/sdss/run42/clusters-{f}", 30 * MB)
+        searches.append(out)
+        vdc.add_derivation(Derivation(
+            f"search-{f}", "brgSearch",
+            inputs=("/sdss/run42/fields",), outputs=(out,),
+        ))
+    vdc.add_derivation(Derivation(
+        "merge", "clusterCatalog",
+        inputs=tuple(lfn for lfn, _ in searches),
+        outputs=(("/sdss/run42/catalog", 100 * MB),),
+    ))
+    return vdc
+
+
+def main() -> None:
+    grid = Grid3(Grid3Config(
+        seed=17, scale=300, duration_days=5, apps=[],
+        failures=FailureProfile.disabled(), misconfig_probability=0.0,
+    ))
+    grid.deploy()
+    grid.add_user("sdss", "astro")   # §5.3 VO admission
+    vdc = build_catalog()
+    planner = PegasusPlanner(grid.rls, grid.rng)
+
+    # --- first derivation: everything must run ------------------------
+    dax = vdc.derive(["/sdss/run42/catalog"])
+    print(f"first derive: {len(dax)} derivations needed "
+          f"(prep + 6 searches + merge)")
+    dag = planner.plan(dax, vo="sdss", user="astro", name="run42",
+                       archive_site="FNAL_CMS")
+    result = grid.engine.run_process(grid.dagman["sdss"].run(dag))
+    print(f"workflow succeeded: {result.succeeded}; "
+          f"{result.nodes_done} nodes done")
+    materialized = set(grid.rls.catalogued_lfns())
+    print(f"RLS now knows {len(materialized)} logical files")
+
+    # --- nothing to do: the catalog already exists --------------------
+    dax2 = vdc.derive(["/sdss/run42/catalog"], materialized=materialized)
+    print(f"\nsecond derive with everything materialized: "
+          f"{len(dax2)} derivations (virtual data at work)")
+
+    # --- partial damage: re-derive only the missing branch ------------
+    for lfn in ("/sdss/run42/catalog", "/sdss/run42/clusters-3"):
+        for site_name in grid.rls.sites_with(lfn):
+            grid.rls.unregister(site_name, lfn)
+    remaining = set(grid.rls.catalogued_lfns())
+    dax3 = vdc.derive(["/sdss/run42/catalog"], materialized=remaining)
+    print(f"\nafter losing clusters-3 and the catalog: "
+          f"{len(dax3)} derivations to re-run: "
+          f"{sorted(dax3.derivations)}")
+    dag3 = planner.plan(dax3, vo="sdss", user="astro", name="run42-repair",
+                        archive_site="FNAL_CMS")
+    result3 = grid.engine.run_process(grid.dagman["sdss"].run(dag3))
+    print(f"repair workflow succeeded: {result3.succeeded} "
+          f"({result3.nodes_done} nodes, vs 8 for the full workflow)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Compatibility shim for legacy tooling.
+
+All configuration lives in pyproject.toml; this file only enables the
+classic ``setup.py develop`` fallback on environments whose setuptools
+cannot do PEP 660 editable builds (e.g. fully offline boxes missing the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

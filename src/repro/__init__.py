@@ -1,0 +1,36 @@
+"""repro: a full-system reproduction of "The Grid2003 Production Grid:
+Principles and Practice" (HPDC 2004) as a discrete-event simulation.
+
+The public API surface:
+
+* :class:`Grid3` / :class:`Grid3Config` — build and run the whole grid;
+* :mod:`repro.sim` — the simulation kernel;
+* :mod:`repro.fabric` — sites, clusters, storage, WAN;
+* :mod:`repro.middleware` — GSI, GRAM, GridFTP, RLS, MDS, VOMS, Pacman, SRM;
+* :mod:`repro.scheduling` — PBS/Condor/LSF, Condor-G, DAGMan, matchmaking;
+* :mod:`repro.workflow` — Chimera, Pegasus, MOP, DIAL;
+* :mod:`repro.monitoring` — Ganglia, MonALISA, ACDC, status catalog, MDViewer;
+* :mod:`repro.apps` — the seven application demonstrator classes;
+* :mod:`repro.failures`, :mod:`repro.ops`, :mod:`repro.analysis`.
+"""
+
+from .core.grid3 import APP_CLASSES, EXERCISER_SITES, Grid3, Grid3Config
+from .core.job import Job, JobSpec, JobState
+from .core.runner import Grid3Runner
+from .scenarios import SCENARIOS, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_CLASSES",
+    "EXERCISER_SITES",
+    "Grid3",
+    "Grid3Config",
+    "Grid3Runner",
+    "SCENARIOS",
+    "build_scenario",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "__version__",
+]

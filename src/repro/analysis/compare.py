@@ -1,0 +1,201 @@
+"""Shape comparison against the paper's reported results.
+
+The reproduction contract (DESIGN.md §1) is *shape* agreement: who wins,
+by roughly what factor, where peaks fall.  This module encodes those
+claims as machine-checkable :class:`ShapeCheck` items so any run — not
+just the benches — can be scored against the paper with one call.
+
+    grid.run_full()
+    checks = compare_run(grid)
+    print(agreement_report(checks))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.units import DAY, bytes_to_tb
+from .table1 import PAPER_TABLE1, Table1Row, compute_table1
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verifiable shape claim from the paper."""
+
+    name: str
+    passed: bool
+    detail: str
+    #: Where the claim comes from ("Table 1", "Fig. 5", "§7", ...).
+    source: str = ""
+
+
+def _ordering_check(name: str, source: str, measured: Dict[str, float],
+                    bigger: str, smaller: str, factor: float = 1.0) -> ShapeCheck:
+    big = measured.get(bigger, 0.0)
+    small = measured.get(smaller, 0.0)
+    ok = big > small * factor
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"{bigger}={big:.3g} vs {smaller}={small:.3g} (need >{factor:g}x)",
+        source=source,
+    )
+
+
+def compare_table1(rows: Dict[str, Table1Row]) -> List[ShapeCheck]:
+    """The Table 1 shape claims (orderings and concentrations)."""
+    checks: List[ShapeCheck] = []
+    jobs = {cls: row.jobs for cls, row in rows.items()}
+    avg = {cls: row.avg_runtime_hr for cls, row in rows.items()}
+    cpu = {cls: row.total_cpu_days for cls, row in rows.items()}
+
+    present = set(rows)
+    checks.append(ShapeCheck(
+        "all seven user classes present",
+        set(PAPER_TABLE1) <= present,
+        f"missing: {sorted(set(PAPER_TABLE1) - present)}",
+        "Table 1",
+    ))
+    if not set(PAPER_TABLE1) <= present:
+        return checks
+
+    checks.append(_ordering_check(
+        "Exerciser dominates job count", "Table 1", jobs, "Exerciser", "iVDGL", 2.0))
+    checks.append(_ordering_check(
+        "iVDGL out-counts USCMS", "Table 1", jobs, "iVDGL", "USCMS"))
+    checks.append(_ordering_check(
+        "USCMS longest mean runtime", "Table 1", avg, "USCMS", "USATLAS", 2.0))
+    checks.append(_ordering_check(
+        "USATLAS second-longest runtime", "Table 1", avg, "USATLAS", "iVDGL", 2.0))
+    checks.append(ShapeCheck(
+        "USCMS majority of total CPU",
+        cpu["USCMS"] > 0.5 * sum(cpu.values()),
+        f"USCMS {cpu['USCMS']:.0f} of {sum(cpu.values()):.0f} CPU-days",
+        "Table 1",
+    ))
+    for cls in ("USCMS", "USATLAS", "BTEV", "iVDGL"):
+        checks.append(ShapeCheck(
+            f"{cls} peaks in 11-2003",
+            rows[cls].peak_month == "11-2003",
+            f"measured peak {rows[cls].peak_month}",
+            "Table 1",
+        ))
+    checks.append(ShapeCheck(
+        "iVDGL favourite-resource concentration",
+        rows["iVDGL"].max_single_resource_pct > 40.0,
+        f"{rows['iVDGL'].max_single_resource_pct:.0f}% from one resource "
+        "(paper: 88%)",
+        "Table 1",
+    ))
+    checks.append(ShapeCheck(
+        "USATLAS spread across resources",
+        rows["USATLAS"].max_single_resource_pct < 60.0,
+        f"{rows['USATLAS'].max_single_resource_pct:.0f}% max (paper: 28%)",
+        "Table 1",
+    ))
+    # §6.4: "the peak production months for each application class did
+    # not account for a substantial percentage of the total CPU days.
+    # Thus, a substantial amount of the computational jobs are processed
+    # on a continual basis" — for most science classes, the peak month
+    # holds a minority-to-modest share of total CPU (BTeV, whose entire
+    # campaign was one November push, is the paper's own outlier too).
+    continual = {
+        cls: rows[cls].peak_month_cpu_days / rows[cls].total_cpu_days
+        for cls in ("USCMS", "USATLAS", "iVDGL", "SDSS")
+        if rows[cls].total_cpu_days > 0
+    }
+    majority_continual = sum(1 for v in continual.values() if v < 0.6)
+    checks.append(ShapeCheck(
+        "continual production (peak month holds a minority of CPU)",
+        majority_continual >= max(1, len(continual) - 1),
+        ", ".join(f"{cls}={v:.0%}" for cls, v in continual.items()),
+        "§6.4",
+    ))
+    return checks
+
+
+def compare_figure5(ledger, t0: float, t1: float, rescale: float) -> List[ShapeCheck]:
+    """Fig. 5 / §6.3 / §7 data-movement claims."""
+    by_vo = ledger.bytes_by_vo(since=t0, until=t1)
+    total_tb = bytes_to_tb(sum(by_vo.values())) * rescale
+    demo_share = by_vo.get("ivdgl", 0.0) / max(1.0, sum(by_vo.values()))
+    peak_tb = bytes_to_tb(ledger.peak_daily_bytes(t0, t1)) * rescale
+    window_days = (t1 - t0) / DAY
+    return [
+        ShapeCheck(
+            "order-100TB per 30 days",
+            20.0 <= total_tb * (30.0 / max(window_days, 1e-9)) <= 300.0,
+            f"{total_tb:.1f} TB over {window_days:.0f} d",
+            "Fig. 5",
+        ),
+        ShapeCheck(
+            "GridFTP demo accounts for most data",
+            demo_share > 0.5,
+            f"demo share {demo_share:.0%}",
+            "Fig. 5",
+        ),
+        ShapeCheck(
+            "2 TB/day target met",
+            peak_tb >= 2.0,
+            f"peak day {peak_tb:.2f} TB (paper: 4)",
+            "§7",
+        ),
+    ]
+
+
+def compare_figure6(jobs_by_month: Dict[str, float]) -> List[ShapeCheck]:
+    """Fig. 6's ramp-then-sustain claims."""
+    checks = []
+    has_months = "10-2003" in jobs_by_month and "11-2003" in jobs_by_month
+    checks.append(ShapeCheck(
+        "window covers Oct+Nov 2003", has_months,
+        f"months: {sorted(jobs_by_month)}", "Fig. 6",
+    ))
+    if has_months:
+        checks.append(ShapeCheck(
+            "2003 ramp (Oct < Nov)",
+            jobs_by_month["10-2003"] < jobs_by_month["11-2003"],
+            f"Oct {jobs_by_month['10-2003']:.0f} vs Nov {jobs_by_month['11-2003']:.0f}",
+            "Fig. 6",
+        ))
+    y2004 = [v for m, v in jobs_by_month.items() if m.endswith("2004")]
+    if len(y2004) >= 3:
+        mean_2004 = sum(y2004) / len(y2004)
+        checks.append(ShapeCheck(
+            "sustained 2004 production",
+            all(v > mean_2004 / 3 for v in y2004),
+            f"2004 months: {[round(v) for v in y2004]}",
+            "Fig. 6",
+        ))
+    return checks
+
+
+def compare_run(grid, t0: float = 0.0, t1: Optional[float] = None) -> List[ShapeCheck]:
+    """Score a completed Grid3 run against every codified shape claim."""
+    t1 = t1 if t1 is not None else grid.engine.now
+    viewer = grid.viewer()
+    checks: List[ShapeCheck] = []
+    checks.extend(compare_table1(compute_table1(grid.acdc_db, grid.calendar)))
+    checks.extend(compare_figure5(grid.ledger, t0, t1, grid.config.scale))
+    checks.extend(compare_figure6(viewer.jobs_by_month()))
+    # §7 milestone posture: most met, utilisation allowed to miss.
+    tracker = grid.milestones(t0, t1)
+    met = sum(1 for m in tracker.milestones() if m.met)
+    checks.append(ShapeCheck(
+        "most §7 milestones met",
+        met >= 6,
+        f"{met}/9 met",
+        "§7",
+    ))
+    return checks
+
+
+def agreement_report(checks: List[ShapeCheck]) -> str:
+    """Human-readable scorecard."""
+    passed = sum(c.passed for c in checks)
+    lines = [f"shape agreement: {passed}/{len(checks)} claims hold", "-" * 60]
+    for check in checks:
+        mark = "PASS" if check.passed else "MISS"
+        lines.append(f"[{mark}] ({check.source}) {check.name}: {check.detail}")
+    return "\n".join(lines)

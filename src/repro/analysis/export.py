@@ -1,0 +1,90 @@
+"""Job-record export/import: the ACDC database as portable CSV.
+
+The real ACDC database was "web-visible ... available for aggregated
+queries and browsing" (§5.2); downstream users scraped it for their own
+analyses (as the paper's authors did for Table 1).  This module provides
+the equivalent: a stable CSV schema for :class:`JobRecord` rows, round-
+trippable so simulated traces can be archived, diffed between runs, and
+analysed outside the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, TextIO, Union
+
+from ..monitoring.acdc import ACDCDatabase, JobRecord
+
+#: The stable column order of the export schema.
+CSV_FIELDS = [
+    "job_id", "name", "vo", "user", "site",
+    "submitted_at", "started_at", "finished_at",
+    "runtime", "queue_time", "succeeded",
+    "failure_category", "failure_type", "bytes_in", "bytes_out",
+]
+
+
+def record_to_row(record: JobRecord) -> List[str]:
+    """One record as its CSV row (strings, in CSV_FIELDS order)."""
+    return [
+        str(record.job_id), record.name, record.vo, record.user, record.site,
+        repr(record.submitted_at), repr(record.started_at),
+        repr(record.finished_at), repr(record.runtime),
+        repr(record.queue_time), "1" if record.succeeded else "0",
+        record.failure_category, record.failure_type,
+        repr(record.bytes_in), repr(record.bytes_out),
+    ]
+
+
+def row_to_record(row: List[str]) -> JobRecord:
+    """Inverse of :func:`record_to_row`."""
+    if len(row) != len(CSV_FIELDS):
+        raise ValueError(
+            f"expected {len(CSV_FIELDS)} columns, got {len(row)}"
+        )
+    return JobRecord(
+        job_id=int(row[0]), name=row[1], vo=row[2], user=row[3], site=row[4],
+        submitted_at=float(row[5]), started_at=float(row[6]),
+        finished_at=float(row[7]), runtime=float(row[8]),
+        queue_time=float(row[9]), succeeded=row[10] == "1",
+        failure_category=row[11], failure_type=row[12],
+        bytes_in=float(row[13]), bytes_out=float(row[14]),
+    )
+
+
+def export_records(
+    records: Iterable[JobRecord],
+    destination: Optional[TextIO] = None,
+) -> str:
+    """Write records as CSV; returns the text (also written to
+    ``destination`` when given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for record in records:
+        writer.writerow(record_to_row(record))
+    text = buffer.getvalue()
+    if destination is not None:
+        destination.write(text)
+    return text
+
+
+def export_database(db: ACDCDatabase, destination: Optional[TextIO] = None) -> str:
+    """Export a whole ACDC database."""
+    return export_records(db.records(), destination)
+
+
+def import_records(source: Union[str, TextIO]) -> ACDCDatabase:
+    """Rebuild an ACDC database from exported CSV text or a file."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    reader = csv.reader(source)
+    header = next(reader, None)
+    if header != CSV_FIELDS:
+        raise ValueError(f"unrecognised header {header!r}")
+    db = ACDCDatabase()
+    for row in reader:
+        if row:
+            db.add(row_to_record(row))
+    return db

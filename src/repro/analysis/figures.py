@@ -1,0 +1,96 @@
+"""Figure regeneration: the paper's Figures 2-6 as data + text.
+
+Each ``figure_N`` function computes the figure's underlying data from
+the monitoring stack (via MDViewer) and returns ``(data, rendered
+text)``.  Benches print the text and EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..monitoring.mdviewer import MDViewer
+from ..sim.units import DAY, TB, bytes_to_tb
+from .report import render_bar_chart, render_grouped_series, render_series
+
+
+def figure2_integrated_cpu(
+    viewer: MDViewer, t0: float, t1: float, rescale: float = 1.0
+) -> Tuple[Dict[str, float], str]:
+    """Fig. 2: integrated CPU usage (CPU-days) by VO over the window."""
+    data = {
+        vo: cpu_days * rescale
+        for vo, cpu_days in viewer.integrated_cpu_by_vo(t0, t1).items()
+    }
+    text = "Figure 2: integrated CPU usage by VO (CPU-days)\n" + render_bar_chart(
+        data, unit=" cpu-d"
+    )
+    return data, text
+
+
+def figure3_differential_cpu(
+    viewer: MDViewer, t0: float, t1: float, bin_width: float = DAY,
+    rescale: float = 1.0,
+) -> Tuple[Dict[str, List[Tuple[float, float]]], str]:
+    """Fig. 3: differential CPU usage (time-averaged CPUs) by VO."""
+    raw = viewer.differential_cpu_series(t0, t1, bin_width)
+    data = {
+        vo: [(t - t0, cpus * rescale) for t, cpus in series]
+        for vo, series in raw.items()
+    }
+    text = (
+        "Figure 3: differential CPU usage by VO (time-averaged CPUs/day)\n"
+        + render_grouped_series(data)
+    )
+    return data, text
+
+
+def figure4_cms_by_site(
+    viewer: MDViewer, t0: float, t1: float, vo: str = "uscms",
+    rescale: float = 1.0,
+) -> Tuple[Dict[str, float], str]:
+    """Fig. 4: one VO's cumulative CPU-days by site over 150 days."""
+    data = {
+        site: cpu_days * rescale
+        for site, cpu_days in viewer.cumulative_cpu_by_site(vo, t0, t1).items()
+    }
+    text = (
+        f"Figure 4: {vo} cumulative usage by site (CPU-days)\n"
+        + render_bar_chart(data, unit=" cpu-d")
+    )
+    return data, text
+
+
+def figure5_data_consumed(
+    viewer: MDViewer, t0: float, t1: float, rescale: float = 1.0
+) -> Tuple[Dict[str, float], str]:
+    """Fig. 5: data consumed by VO (TB) plus the cumulative total."""
+    by_vo = {
+        vo: bytes_to_tb(nbytes) * rescale
+        for vo, nbytes in viewer.data_consumed_by_vo(t0, t1).items()
+    }
+    cumulative = viewer.cumulative_data_series(t0, t1)
+    total_tb = bytes_to_tb(cumulative[-1][1]) * rescale if cumulative else 0.0
+    text = (
+        f"Figure 5: data consumed by VO (total {total_tb:.1f} TB)\n"
+        + render_bar_chart(by_vo, unit=" TB")
+    )
+    data = dict(by_vo)
+    data["__total__"] = total_tb
+    return data, text
+
+
+def figure6_jobs_by_month(
+    viewer: MDViewer, rescale: float = 1.0
+) -> Tuple[Dict[str, float], str]:
+    """Fig. 6: jobs run on Grid3 by month (the 2003 ramp, 2004 plateau)."""
+    data = {
+        month: count * rescale
+        for month, count in viewer.jobs_by_month().items()
+    }
+    ordered = dict(sorted(data.items(), key=lambda kv: (kv[0][3:], kv[0][:2])))
+    text = "Figure 6: jobs per month\n" + render_bar_chart(
+        ordered, unit=" jobs", sort=False
+    )
+    return ordered, text

@@ -1,0 +1,85 @@
+"""Plain-text rendering helpers for tables and series.
+
+The paper's artefacts are figures and one large table; benches print
+them as aligned text so a terminal diff against EXPERIMENTS.md is easy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def fmt_cell(value) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """An aligned ASCII table."""
+    cells = [[fmt_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(parts):
+        return "  ".join(str(p).rjust(w) for p, w in zip(parts, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def render_bar_chart(
+    data: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    sort: bool = True,
+) -> str:
+    """A horizontal ASCII bar chart (the figure stand-in)."""
+    if not data:
+        return "(no data)"
+    items = sorted(data.items(), key=lambda kv: -kv[1]) if sort else list(data.items())
+    peak = max(v for _k, v in items) or 1.0
+    label_w = max(len(k) for k, _v in items)
+    lines = []
+    for key, value in items:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{key.ljust(label_w)} | {bar} {fmt_cell(value)}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    label: str = "",
+    width: int = 60,
+    time_scale: float = 86400.0,
+    time_unit: str = "d",
+) -> str:
+    """A vertical-time ASCII plot of one (time, value) series."""
+    if not series:
+        return f"{label}: (no data)"
+    peak = max(v for _t, v in series) or 1.0
+    lines = [f"{label} (peak {fmt_cell(peak)})"] if label else []
+    for t, v in series:
+        bar = "#" * max(0, int(round(width * v / peak)))
+        lines.append(f"{t / time_scale:8.1f}{time_unit} | {bar} {fmt_cell(v)}")
+    return "\n".join(lines)
+
+
+def render_grouped_series(
+    groups: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 50,
+    time_scale: float = 86400.0,
+) -> str:
+    """Multiple labelled series, one block each."""
+    return "\n\n".join(
+        render_series(series, label=name, width=width, time_scale=time_scale)
+        for name, series in sorted(groups.items())
+    )

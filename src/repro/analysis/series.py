@@ -1,0 +1,120 @@
+"""Time-series utilities shared by MDViewer and the benches.
+
+Small, numpy-backed helpers for the recurring operations: fixed-width
+binning of event streams, interval→occupancy conversion, cumulative
+sums, moving averages, and percentile summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_events(
+    times: Sequence[float],
+    t0: float,
+    t1: float,
+    bin_width: float,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, float]]:
+    """Histogram point events into fixed bins over [t0, t1).
+
+    Returns (bin_start, total_weight) for every bin, zeros included.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if t1 <= t0:
+        raise ValueError("t1 must exceed t0")
+    n_bins = int(np.ceil((t1 - t0) / bin_width))
+    edges = t0 + np.arange(n_bins + 1) * bin_width
+    counts, _ = np.histogram(
+        np.asarray(times, dtype=float),
+        bins=edges,
+        weights=None if weights is None else np.asarray(weights, dtype=float),
+    )
+    return [(float(edges[i]), float(counts[i])) for i in range(n_bins)]
+
+
+def interval_occupancy(
+    intervals: Iterable[Tuple[float, float]],
+    t0: float,
+    t1: float,
+    bin_width: float,
+) -> List[Tuple[float, float]]:
+    """Convert (start, end) intervals into mean-occupancy-per-bin.
+
+    The value of a bin is the time-averaged number of intervals covering
+    it — the Figure 3 "differential usage" operation.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    n_bins = int(np.ceil((t1 - t0) / bin_width))
+    acc = np.zeros(n_bins)
+    for start, end in intervals:
+        lo = max(start, t0)
+        hi = min(end, t1)
+        if hi <= lo:
+            continue
+        first = int((lo - t0) // bin_width)
+        last = min(n_bins - 1, int((hi - t0) // bin_width))
+        for b in range(first, last + 1):
+            b0 = t0 + b * bin_width
+            acc[b] += max(0.0, min(hi, b0 + bin_width) - max(lo, b0))
+    return [
+        (t0 + b * bin_width, float(acc[b] / bin_width)) for b in range(n_bins)
+    ]
+
+
+def cumulative(series: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Running sum of a (time, value) series (assumed time-sorted)."""
+    out: List[Tuple[float, float]] = []
+    total = 0.0
+    for t, v in series:
+        total += v
+        out.append((t, total))
+    return out
+
+
+def moving_average(
+    series: Sequence[Tuple[float, float]], window: int
+) -> List[Tuple[float, float]]:
+    """Trailing moving average over the last ``window`` points."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = [v for _t, v in series]
+    out: List[Tuple[float, float]] = []
+    for i, (t, _v) in enumerate(series):
+        lo = max(0, i - window + 1)
+        out.append((t, float(np.mean(values[lo: i + 1]))))
+    return out
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (50, 90, 99),
+) -> Dict[str, float]:
+    """min/mean/max plus the requested percentiles."""
+    if len(values) == 0:
+        return {}
+    arr = np.asarray(values, dtype=float)
+    out = {
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+    for p in percentiles:
+        out[f"p{int(p)}"] = float(np.percentile(arr, p))
+    return out
+
+
+def rate_per_day(series: Sequence[Tuple[float, float]]) -> float:
+    """Mean daily rate of a binned (time, count) series."""
+    if not series:
+        return 0.0
+    total = sum(v for _t, v in series)
+    if len(series) < 2:
+        return total
+    span_days = (series[-1][0] - series[0][0]) / 86400.0 + 1e-12
+    return total / max(span_days, 1e-12)

@@ -1,0 +1,138 @@
+"""Table 1: per-class Grid3 computational job statistics.
+
+"Grid3 computational job statistics based on completed production jobs
+from the period of October 23, 2003 to April 23, 2004 (source ACDC
+University at Buffalo)."
+
+The table's seven user classes are the six VOs plus the Exerciser (which
+ran under the iVDGL VO but is reported separately); classification here
+matches: exerciser-named jobs -> "Exerciser", everything else by VO.
+Every column of the paper's table is computed from the ACDC records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..monitoring.acdc import ACDCDatabase, JobRecord
+from ..sim.calendar import SimCalendar
+from ..sim.units import CPU_DAY, HOUR
+from .report import render_table
+
+#: The paper's class labels, in Table 1 column order.
+TABLE1_CLASSES = ["BTEV", "iVDGL", "LIGO", "SDSS", "USATLAS", "USCMS", "Exerciser"]
+
+_VO_TO_CLASS = {
+    "btev": "BTEV",
+    "ivdgl": "iVDGL",
+    "ligo": "LIGO",
+    "sdss": "SDSS",
+    "usatlas": "USATLAS",
+    "uscms": "USCMS",
+}
+
+#: The paper's Table 1 values, for shape comparison in benches/tests.
+PAPER_TABLE1 = {
+    "BTEV":      {"users": 1,  "sites": 8,  "jobs": 2598,   "avg_runtime_hr": 1.77,  "max_runtime_hr": 118.27,  "total_cpu_days": 191.88,   "peak_month": "11-2003"},
+    "iVDGL":     {"users": 24, "sites": 19, "jobs": 58145,  "avg_runtime_hr": 1.22,  "max_runtime_hr": 291.74,  "total_cpu_days": 2945.79,  "peak_month": "11-2003"},
+    "LIGO":      {"users": 7,  "sites": 1,  "jobs": 3,      "avg_runtime_hr": 0.01,  "max_runtime_hr": 0.02,    "total_cpu_days": 0.01,     "peak_month": "12-2003"},
+    "SDSS":      {"users": 9,  "sites": 13, "jobs": 5410,   "avg_runtime_hr": 1.46,  "max_runtime_hr": 152.90,  "total_cpu_days": 329.44,   "peak_month": "02-2004"},
+    "USATLAS":   {"users": 25, "sites": 18, "jobs": 7455,   "avg_runtime_hr": 8.81,  "max_runtime_hr": 292.40,  "total_cpu_days": 2736.05,  "peak_month": "11-2003"},
+    "USCMS":     {"users": 26, "sites": 18, "jobs": 19354,  "avg_runtime_hr": 41.85, "max_runtime_hr": 1238.93, "total_cpu_days": 33750.14, "peak_month": "11-2003"},
+    "Exerciser": {"users": 3,  "sites": 14, "jobs": 198272, "avg_runtime_hr": 0.13,  "max_runtime_hr": 36.45,   "total_cpu_days": 1034.28,  "peak_month": "12-2003"},
+}
+
+#: The paper's total record count over the window.
+PAPER_TOTAL_RECORDS = 291_052
+
+
+def classify(record: JobRecord) -> str:
+    """Map one record to its Table 1 user class."""
+    if record.name.startswith("exerciser"):
+        return "Exerciser"
+    return _VO_TO_CLASS.get(record.vo, record.vo.upper())
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1 (we store it as a row)."""
+
+    cls: str
+    users: int
+    sites_used: int
+    jobs: int
+    avg_runtime_hr: float
+    max_runtime_hr: float
+    total_cpu_days: float
+    peak_month: str
+    peak_month_jobs: int
+    peak_resources: int
+    max_single_resource_jobs: int
+    max_single_resource_pct: float
+    peak_month_cpu_days: float
+
+
+def compute_table1(
+    database: ACDCDatabase,
+    calendar: Optional[SimCalendar] = None,
+    since: float = -float("inf"),
+    until: float = float("inf"),
+) -> Dict[str, Table1Row]:
+    """Compute every Table 1 statistic per user class."""
+    calendar = calendar or SimCalendar()
+    by_class: Dict[str, List[JobRecord]] = {}
+    for record in database.records(since=since, until=until):
+        by_class.setdefault(classify(record), []).append(record)
+
+    rows: Dict[str, Table1Row] = {}
+    for cls, records in by_class.items():
+        runtimes = [r.runtime for r in records]
+        months: Dict[str, List[JobRecord]] = {}
+        for r in records:
+            months.setdefault(calendar.month_label(r.finished_at), []).append(r)
+        peak_month, peak_records = max(
+            months.items(), key=lambda kv: len(kv[1])
+        )
+        peak_by_site: Dict[str, int] = {}
+        for r in peak_records:
+            peak_by_site[r.site] = peak_by_site.get(r.site, 0) + 1
+        max_site_jobs = max(peak_by_site.values())
+        rows[cls] = Table1Row(
+            cls=cls,
+            users=len({r.user for r in records}),
+            sites_used=len({r.site for r in records}),
+            jobs=len(records),
+            avg_runtime_hr=(sum(runtimes) / len(runtimes)) / HOUR,
+            max_runtime_hr=max(runtimes) / HOUR,
+            total_cpu_days=sum(runtimes) / CPU_DAY,
+            peak_month=peak_month,
+            peak_month_jobs=len(peak_records),
+            peak_resources=len(peak_by_site),
+            max_single_resource_jobs=max_site_jobs,
+            max_single_resource_pct=100.0 * max_site_jobs / len(peak_records),
+            peak_month_cpu_days=sum(r.runtime for r in peak_records) / CPU_DAY,
+        )
+    return rows
+
+
+def render_table1(rows: Dict[str, Table1Row]) -> str:
+    """Table 1 as text, classes in the paper's order."""
+    headers = [
+        "class", "users", "sites", "jobs", "avg_hr", "max_hr",
+        "cpu_days", "peak_jobs/mo", "peak_sites", "max_1res[%]",
+        "peak_month", "peak_cpu_days",
+    ]
+    table_rows = []
+    for cls in TABLE1_CLASSES:
+        row = rows.get(cls)
+        if row is None:
+            continue
+        table_rows.append([
+            row.cls, row.users, row.sites_used, row.jobs,
+            row.avg_runtime_hr, row.max_runtime_hr, row.total_cpu_days,
+            row.peak_month_jobs, row.peak_resources,
+            f"{row.max_single_resource_jobs} [{row.max_single_resource_pct:.1f}]",
+            row.peak_month, row.peak_month_cpu_days,
+        ])
+    return render_table(headers, table_rows)

@@ -1,0 +1,27 @@
+"""The Grid3 application demonstrators (§4, Table 1): the five science
+experiments, the iVDGL apps, and the CS demonstrators."""
+
+from .atlas import ATLASApplication
+from .base import AppContext, ApplicationDemonstrator, AppStats, OBSERVATION_DAYS
+from .btev import BTeVApplication
+from .cms import CMSApplication
+from .exerciser import ExerciserApplication
+from .gridftp_demo import GridFTPDemoApplication
+from .ivdgl import IVDGLApplication
+from .ligo import LIGOApplication
+from .sdss import SDSSApplication
+
+__all__ = [
+    "ATLASApplication",
+    "AppContext",
+    "AppStats",
+    "ApplicationDemonstrator",
+    "BTeVApplication",
+    "CMSApplication",
+    "ExerciserApplication",
+    "GridFTPDemoApplication",
+    "IVDGLApplication",
+    "LIGOApplication",
+    "OBSERVATION_DAYS",
+    "SDSSApplication",
+]

@@ -1,0 +1,120 @@
+"""LIGO: blind all-sky pulsar search over the S2 data set (§4.4).
+
+"Each search required that a conventional binary short Fourier
+transform data file be accessible containing the frequency band that
+the target signal spans ... data files containing the ephemeris data
+for the year are staged from LIGO facilities to Grid3 sites using
+GridFTP.  The location of the staged data (on average 4 GB per job) is
+published in RLS ... The last job in the workflow stages the output
+results back to the LIGO facility and updates database entries.  Each
+workflow instance runs for several hours on an average processor."
+
+Table 1 records only 3 tiny LIGO jobs at a single site during the
+observation window (the production search ran mostly on LIGO's own
+resources), so the default campaign is the small **test-mode** probe
+that Table 1 actually saw; ``test_mode=False`` runs the full §4.4
+search workflow with its 4 GB stage-ins and several-hour analyses.
+"""
+
+from __future__ import annotations
+
+from ..core.job import JobSpec
+from ..sim.units import GB, HOUR, MB, MINUTE
+from .base import ApplicationDemonstrator, AppContext
+
+#: §4.4: average staged data volume per search job.
+SFT_BYTES_PER_JOB = 4 * GB
+#: "runs for several hours on an average processor".
+SEARCH_RUNTIME = 5 * HOUR
+
+
+class LIGOApplication(ApplicationDemonstrator):
+    """The GriPhyN-LIGO pulsar search."""
+
+    name = "ligo-pulsar"
+    vo = "ligo"
+    #: Table 1: 3 jobs, all at one site, in 12-2003.
+    total_units = 3
+    monthly_profile = {"12-2003": 1.0}
+    users = tuple(f"ligo-user{i}" for i in range(7))
+
+    def __init__(
+        self,
+        ctx: AppContext,
+        home_site: str = "UWM_LIGO",
+        test_mode: bool = True,
+        full_search_units: int = 100,
+    ) -> None:
+        super().__init__(ctx)
+        #: The LIGO facility holding S2 SFT data and receiving results.
+        self.home_site = home_site
+        self.test_mode = test_mode
+        if not test_mode:
+            self.total_units = full_search_units
+            self.monthly_profile = {
+                "11-2003": 0.3, "12-2003": 0.4, "01-2004": 0.3,
+            }
+        self._sft_published = 0
+
+    def _ensure_sft(self, band: int) -> str:
+        """Publish the S2 SFT file for a frequency band at the home
+        facility (idempotent) so search jobs can stage it."""
+        lfn = f"/ligo/s2/sft-band{band:04d}"
+        home = self.ctx.sites[self.home_site]
+        if lfn not in home.storage:
+            home.storage.store(lfn, SFT_BYTES_PER_JOB)
+            self.ctx.rls.register(self.home_site, lfn, SFT_BYTES_PER_JOB)
+            self._sft_published += 1
+        return lfn
+
+    def scaled_units(self) -> int:
+        """LIGO unit counts are explicit, not scale-divided: Table 1's 3
+        test probes would vanish under any scaling, and a full-search
+        run's size is the caller's ``full_search_units`` choice."""
+        return self.total_units
+
+    def _search_spec(self, index: int) -> JobSpec:
+        lfn = self._ensure_sft(index)
+        runtime = self.ctx.rng.lognormal_from_mean(
+            "ligo.search", SEARCH_RUNTIME, 0.3
+        )
+        return JobSpec(
+            name=f"pulsar-search-{index:04d}",
+            vo=self.vo,
+            user=self.users[index % len(self.users)],
+            runtime=runtime,
+            walltime_request=max(12 * HOUR, runtime * 2),
+            inputs=((lfn, SFT_BYTES_PER_JOB),
+                    (f"/ligo/ephemeris-2003", 50 * MB)),
+            outputs=((f"/ligo/s2/candidates-{index:04d}", 100 * MB),),
+            staging="heavy",
+            # "The last job in the workflow stages the output results
+            # back to the LIGO facility and updates database entries."
+            archive_site=self.home_site,
+            register_outputs=True,
+        )
+
+    def _test_spec(self, index: int) -> JobSpec:
+        """The tiny single-site probes Table 1 recorded (0.01 h mean)."""
+        return JobSpec(
+            name=f"ligo-test-{index}",
+            vo=self.vo,
+            user=self.users[0],
+            runtime=self.ctx.rng.uniform("ligo.test", 20.0, 50.0),
+            walltime_request=1 * HOUR,
+            staging="none",
+        )
+
+    def run_unit(self, index: int):
+        if self.test_mode:
+            jobs = yield from self.submit_and_wait(
+                self._test_spec(index), self.home_site
+            )
+            return jobs
+        # Publish the ephemeris file once.
+        home = self.ctx.sites[self.home_site]
+        if "/ligo/ephemeris-2003" not in home.storage:
+            home.storage.store("/ligo/ephemeris-2003", 50 * MB)
+            self.ctx.rls.register(self.home_site, "/ligo/ephemeris-2003", 50 * MB)
+        jobs = yield from self.submit_and_wait(self._search_spec(index))
+        return jobs

@@ -1,0 +1,256 @@
+"""Command-line interface: run Grid3 simulations from a shell.
+
+Subcommands
+-----------
+
+``run``        deploy + run a full-mix simulation, print summary/milestones
+``figures``    run and print any of the paper's figures (2-6) and Table 1
+``catalog``    print the reconstructed 27-site catalog
+``export``     run and dump the ACDC job records as CSV
+
+Examples::
+
+    python -m repro run --scale 200 --days 14
+    python -m repro figures --scale 100 --days 45 --figure 2 --figure 6
+    python -m repro catalog
+    python -m repro export --scale 300 --days 10 --output records.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    compute_table1,
+    export_database,
+    figure2_integrated_cpu,
+    figure3_differential_cpu,
+    figure4_cms_by_site,
+    figure5_data_consumed,
+    figure6_jobs_by_month,
+    render_table,
+    render_table1,
+)
+from .core.grid3 import APP_CLASSES, Grid3, Grid3Config
+from .failures import FailureProfile
+from .fabric import GRID3_SITES
+from .monitoring.statusmap import status_map_for_catalog
+from .scenarios import SCENARIOS
+from .sim import DAY, bytes_to_tb
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=200.0,
+                        help="CPU/workload divisor (default 200)")
+    parser.add_argument("--days", type=float, default=14.0,
+                        help="simulated days (default 14)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--srm", action="store_true",
+                        help="enable SRM storage reservation (§8 lesson)")
+    parser.add_argument("--random-matchmaking", action="store_true",
+                        help="ablation: ignore the §6.4 selection criteria")
+    parser.add_argument("--no-failures", action="store_true",
+                        help="disable injected failures")
+    parser.add_argument(
+        "--apps", nargs="*", choices=sorted(APP_CLASSES), default=None,
+        help="application subset (default: all)",
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default=None,
+        help="start from a canned scenario config (other flags override "
+             "seed/scale/days/apps on top of it)",
+    )
+
+
+def _build_grid(args) -> Grid3:
+    if args.scenario is not None:
+        config = SCENARIOS[args.scenario](seed=args.seed, scale=args.scale)
+        config.duration_days = args.days
+        if args.apps is not None:
+            config.apps = args.apps
+        if args.srm:
+            config.use_srm = True
+        if args.random_matchmaking:
+            config.matchmaking = "random"
+        if args.no_failures:
+            config.failures = FailureProfile.disabled()
+        return Grid3(config)
+    config = Grid3Config(
+        seed=args.seed,
+        scale=args.scale,
+        duration_days=args.days,
+        use_srm=args.srm,
+        matchmaking="random" if args.random_matchmaking else "smart",
+        failures=(
+            FailureProfile.disabled() if args.no_failures else FailureProfile()
+        ),
+        apps=args.apps,
+    )
+    return Grid3(config)
+
+
+def cmd_run(args, out=print) -> int:
+    grid = _build_grid(args)
+    out(f"deploying Grid3 (27 sites, scale {args.scale:g})...")
+    grid.deploy()
+    grid.start_applications()
+    out(f"simulating {args.days:g} days...")
+    grid.run()
+    grid.monitors["acdc"].poll_once()
+    db = grid.acdc_db
+    out(f"\njob records: {len(db)}  success rate: {db.success_rate():.1%}")
+    out(f"failure breakdown: {db.failure_breakdown()}")
+    out(f"data moved: {bytes_to_tb(grid.ledger.total_bytes()):.2f} TB (scaled)")
+    rows = [
+        (vo, len(db.records(vo=vo)), f"{db.success_rate(vo=vo):.0%}",
+         round(db.total_cpu_days(vo=vo), 1))
+        for vo in db.vos()
+    ]
+    out("\n" + render_table(["vo", "jobs", "success", "cpu-days"], rows))
+    out("\n" + grid.milestones().render())
+    if args.map:
+        out("\nsite status map (§5.2):")
+        out(status_map_for_catalog(grid.monitors["status"].status_page()))
+    return 0
+
+
+def cmd_figures(args, out=print) -> int:
+    grid = _build_grid(args)
+    grid.run_full()
+    viewer = grid.viewer()
+    t0, t1 = 0.0, grid.engine.now
+    scale = args.scale
+    wanted = args.figure or [2, 3, 4, 5, 6]
+    for fig in wanted:
+        if fig == 2:
+            _d, text = figure2_integrated_cpu(viewer, t0, t1, rescale=scale)
+        elif fig == 3:
+            _d, text = figure3_differential_cpu(viewer, t0, t1, rescale=scale)
+        elif fig == 4:
+            _d, text = figure4_cms_by_site(viewer, t0, t1, rescale=scale)
+        elif fig == 5:
+            _d, text = figure5_data_consumed(viewer, t0, t1, rescale=scale)
+        else:
+            _d, text = figure6_jobs_by_month(viewer, rescale=scale)
+        out("\n" + text)
+    if args.table1:
+        out("\n" + render_table1(compute_table1(grid.acdc_db, grid.calendar)))
+    return 0
+
+
+def cmd_catalog(args, out=print) -> int:
+    rows = [
+        (s.name, s.institution, s.owner_vo, s.cpus, s.batch_system,
+         "shared" if s.shared else "dedicated", s.disk_tb,
+         s.max_walltime_hours, "yes" if s.outbound_connectivity else "no")
+        for s in GRID3_SITES
+    ]
+    out(render_table(
+        ["site", "institution", "vo", "cpus", "batch", "type",
+         "disk TB", "walltime h", "outbound"],
+        rows,
+    ))
+    total = sum(s.cpus for s in GRID3_SITES)
+    out(f"\n{len(GRID3_SITES)} sites, {total} CPUs peak")
+    return 0
+
+
+def cmd_export(args, out=print) -> int:
+    grid = _build_grid(args)
+    grid.run_full()
+    text = export_database(grid.acdc_db)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        out(f"wrote {len(grid.acdc_db)} records to {args.output}")
+    else:
+        out(text)
+    return 0
+
+
+def cmd_report(args, out=print) -> int:
+    from .ops.reports import weekly_report
+    grid = _build_grid(args)
+    grid.run_full()
+    weeks = max(1, int(args.days // 7))
+    for week in range(weeks):
+        out(weekly_report(grid, week_index=week))
+        out("")
+    return 0
+
+
+def cmd_score(args, out=print) -> int:
+    from .analysis.compare import agreement_report, compare_run
+    grid = _build_grid(args)
+    grid.run_full()
+    checks = compare_run(grid)
+    out(agreement_report(checks))
+    # Exit nonzero when the run drifts badly from the paper's shapes —
+    # usable as a CI regression gate.
+    passed = sum(c.passed for c in checks)
+    return 0 if passed >= len(checks) - 2 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Grid2003 reproduction: simulate the Grid3 production grid",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a simulation, print the summary")
+    _add_run_options(p_run)
+    p_run.add_argument("--map", action="store_true",
+                       help="also print the §5.2 site status map")
+    p_run.set_defaults(func=cmd_run)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    _add_run_options(p_fig)
+    p_fig.add_argument("--figure", type=int, action="append",
+                       choices=[2, 3, 4, 5, 6],
+                       help="which figure(s); repeatable (default: all)")
+    p_fig.add_argument("--table1", action="store_true",
+                       help="also print Table 1")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_cat = sub.add_parser("catalog", help="print the 27-site catalog")
+    p_cat.set_defaults(func=cmd_catalog)
+
+    p_exp = sub.add_parser("export", help="dump ACDC job records as CSV")
+    _add_run_options(p_exp)
+    p_exp.add_argument("--output", "-o", help="destination file (default stdout)")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_rep = sub.add_parser("report", help="weekly iGOC operations reports")
+    _add_run_options(p_rep)
+    p_rep.set_defaults(func=cmd_report)
+
+    p_score = sub.add_parser(
+        "score", help="score a run against the paper's shape claims"
+    )
+    _add_run_options(p_score)
+    p_score.set_defaults(func=cmd_score)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into `head` etc. closed early — normal CLI usage.
+        import os
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The Grid3 core: job model and the grid builder/orchestrator."""
+
+from .job import STAGING_LOAD_FACTOR, Job, JobSpec, JobState
+from .runner import Grid3Runner
+
+__all__ = ["Grid3Runner", "Job", "JobSpec", "JobState", "STAGING_LOAD_FACTOR"]

@@ -1,0 +1,194 @@
+"""The grid job model shared by GRAM, the batch systems, and the apps.
+
+A :class:`JobSpec` is the immutable description a user (or workflow
+planner) writes; a :class:`Job` is one attempt to run it, with the full
+state/timestamp record that the ACDC job monitor later harvests into
+Table 1.  The spec fields map directly onto the paper's §6.4 site
+selection criteria: ``requires_outbound`` (criterion 1), ``disk_needed``
+(criterion 2), ``walltime_request`` (criterion 3), and input/output
+volumes (criterion 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..sim.units import HOUR
+
+
+class JobState(Enum):
+    """GRAM-style job lifecycle states."""
+
+    UNSUBMITTED = "unsubmitted"
+    PENDING = "pending"        # accepted by the gatekeeper, queued at the LRM
+    STAGE_IN = "stage_in"      # running the input-staging step
+    ACTIVE = "active"          # computing on a worker node
+    STAGE_OUT = "stage_out"    # shipping outputs to the archive SE
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Gatekeeper load multipliers by staging intensity (§6.4: "a factor of
+#: two can be applied ... the factor can increase to three or four").
+STAGING_LOAD_FACTOR = {
+    "none": 1.0,
+    "minimal": 2.0,
+    "heavy": 3.5,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a job is: executable identity, resources, data movement."""
+
+    name: str
+    vo: str
+    user: str
+    #: Pure compute duration in seconds on the reference 2 GHz CPU (§4.5).
+    runtime: float
+    #: Walltime the submitter requests from the batch system (criterion 3).
+    walltime_request: float = 24 * HOUR
+    #: Input files to stage in if not already local: (lfn, bytes).
+    inputs: Tuple[Tuple[str, float], ...] = ()
+    #: Output files produced locally: (lfn, bytes).
+    outputs: Tuple[Tuple[str, float], ...] = ()
+    #: Gatekeeper/file-staging intensity: "none" | "minimal" | "heavy".
+    staging: str = "minimal"
+    #: Criterion 1: worker node must reach the public internet.
+    requires_outbound: bool = False
+    #: Criterion 2: scratch space needed beyond inputs/outputs (bytes).
+    disk_needed: float = 0.0
+    #: Where outputs are archived after the run (None = stay local).
+    archive_site: Optional[str] = None
+    #: Register archived outputs in RLS (the ATLAS §6.1 final step)?
+    register_outputs: bool = True
+    #: Intrinsic application failure probability (the ~10 % of failures
+    #: that are not site problems, §6.1).
+    app_failure_probability: float = 0.0
+    #: Batch priority (PBS qsub -p style; higher runs first).
+    priority: int = 0
+    #: Backfill-only job (the Exerciser "ran repeatedly with a low
+    #: priority", §4.7): runs only when no normal work is queued.
+    nice_user: bool = False
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError("runtime cannot be negative")
+        if self.walltime_request <= 0:
+            raise ValueError("walltime request must be positive")
+        if self.staging not in STAGING_LOAD_FACTOR:
+            raise ValueError(f"unknown staging class {self.staging!r}")
+        if not 0 <= self.app_failure_probability <= 1:
+            raise ValueError("app_failure_probability must be in [0,1]")
+
+    @property
+    def input_bytes(self) -> float:
+        """Total stage-in volume."""
+        return sum(size for _lfn, size in self.inputs)
+
+    @property
+    def output_bytes(self) -> float:
+        """Total produced volume."""
+        return sum(size for _lfn, size in self.outputs)
+
+    @property
+    def staging_load_factor(self) -> float:
+        """This job's gatekeeper load multiplier (§6.4)."""
+        return STAGING_LOAD_FACTOR[self.staging]
+
+    @property
+    def local_disk_footprint(self) -> float:
+        """Bytes of site disk the job occupies while running."""
+        return self.input_bytes + self.output_bytes + self.disk_needed
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One attempt to run a spec on a specific site."""
+
+    spec: JobSpec
+    site_name: str = ""
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.UNSUBMITTED
+    #: Timestamps (sim seconds); -1 = not reached.
+    submitted_at: float = -1.0
+    started_at: float = -1.0
+    finished_at: float = -1.0
+    #: Terminal disposition.
+    error: Optional[BaseException] = None
+    #: Retry lineage: which attempt of the same logical work this is.
+    attempt: int = 1
+    #: Bytes actually moved (for Fig. 5 accounting).
+    bytes_staged_in: float = 0.0
+    bytes_staged_out: float = 0.0
+    #: Node the job ran on (for rollover attribution).
+    node_id: str = ""
+    #: Completion event created by the LRM at submit time; fires with the
+    #: job itself once it reaches DONE or FAILED (never fails — clients
+    #: inspect ``job.state``).
+    completion: Optional[object] = None
+
+    @property
+    def vo(self) -> str:
+        """Owning VO (delegated to the spec)."""
+        return self.spec.vo
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.state is JobState.FAILED
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def queue_time(self) -> float:
+        """Seconds spent waiting in the batch queue."""
+        if self.submitted_at < 0 or self.started_at < 0:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_time(self) -> float:
+        """Wall-clock seconds from start to finish (0 if never started)."""
+        if self.started_at < 0 or self.finished_at < 0:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def cpu_time(self) -> float:
+        """CPU seconds consumed (= run time on a dedicated slot)."""
+        return self.run_time
+
+    @property
+    def failure_category(self) -> Optional[str]:
+        """"site" / "application" / "infrastructure", or None."""
+        if self.error is None:
+            return None
+        return getattr(self.error, "category", "infrastructure")
+
+    def mark(self, state: JobState, now: float) -> None:
+        """Advance the lifecycle, recording the relevant timestamp."""
+        self.state = state
+        if state is JobState.PENDING and self.submitted_at < 0:
+            self.submitted_at = now
+        elif state in (JobState.STAGE_IN, JobState.ACTIVE) and self.started_at < 0:
+            self.started_at = now
+        elif state in (JobState.DONE, JobState.FAILED):
+            self.finished_at = now
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job #{self.job_id} {self.spec.name} [{self.vo}] "
+            f"{self.state.value} @{self.site_name or '?'}>"
+        )

@@ -1,0 +1,57 @@
+"""The Grid3 fabric: sites, clusters, storage elements, and the WAN."""
+
+from .catalog import (
+    GRID3_SITES,
+    GRID3_VOS,
+    VO_HOME_SITE,
+    SiteSpec,
+    build_sites,
+    mbit,
+    peak_cpus,
+    scaled_catalog,
+    shared_fraction,
+    spec_by_name,
+    typical_cpus,
+)
+from .cluster import Cluster, WorkerNode
+from .network import Flow, Link, Network
+from .site import Site, SiteConfig
+from .topology import (
+    DEFAULT_TRUNK_BANDWIDTH,
+    REGIONS,
+    SITE_REGION,
+    backbone_route,
+    trunk_name,
+    wire_backbone,
+)
+from .storage import FileObject, Reservation, StorageElement
+
+__all__ = [
+    "Cluster",
+    "FileObject",
+    "Flow",
+    "GRID3_SITES",
+    "GRID3_VOS",
+    "Link",
+    "Network",
+    "Reservation",
+    "DEFAULT_TRUNK_BANDWIDTH",
+    "REGIONS",
+    "SITE_REGION",
+    "Site",
+    "SiteConfig",
+    "SiteSpec",
+    "StorageElement",
+    "VO_HOME_SITE",
+    "WorkerNode",
+    "backbone_route",
+    "build_sites",
+    "trunk_name",
+    "wire_backbone",
+    "mbit",
+    "peak_cpus",
+    "scaled_catalog",
+    "shared_fraction",
+    "spec_by_name",
+    "typical_cpus",
+]

@@ -1,0 +1,194 @@
+"""Storage elements: the disks behind every Grid3 site.
+
+A :class:`StorageElement` is a capacity-bounded file store.  Disk-full is
+*the* canonical Grid3 failure ("a disk would fill up ... and all jobs
+submitted to a site would die", §6.2), so writes fail loudly with
+:class:`~repro.errors.StorageFullError` unless space was reserved ahead
+of time through the SRM layer (``repro.middleware.srm``), which the paper
+names as the missing service that "would have prevented various
+storage-related service failures".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import StorageFullError
+from ..sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class FileObject:
+    """An immutable (logical name, size) pair stored on some SE."""
+
+    lfn: str
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"file {self.lfn!r} has negative size")
+
+
+@dataclass
+class Reservation:
+    """An SRM-style space reservation against a storage element."""
+
+    se: "StorageElement"
+    amount: float
+    used: float = 0.0
+    released: bool = False
+
+    @property
+    def available(self) -> float:
+        """Reserved space not yet consumed."""
+        return self.amount - self.used
+
+
+class StorageElement:
+    """A site's disk array, tracked at file granularity.
+
+    ``capacity`` and all sizes are bytes.  ``used`` + ``reserved_free``
+    + free space always equals capacity (the class invariant the
+    property tests pin down).
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"SE {name!r} capacity must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity = float(capacity)
+        self._files: Dict[str, FileObject] = {}
+        self._used = 0.0
+        self._reserved = 0.0  # reserved-but-unused space
+        self._reservations: List[Reservation] = []
+        #: Lifetime counters for the analysis layer.
+        self.bytes_written = 0.0
+        self.bytes_deleted = 0.0
+        self.write_failures = 0
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def used(self) -> float:
+        """Bytes occupied by stored files."""
+        return self._used
+
+    @property
+    def reserved(self) -> float:
+        """Bytes reserved via SRM but not yet written."""
+        return self._reserved
+
+    @property
+    def free(self) -> float:
+        """Bytes available to unreserved writes."""
+        return self.capacity - self._used - self._reserved
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of capacity occupied by files."""
+        return self._used / self.capacity
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def files(self) -> List[FileObject]:
+        """Snapshot of stored files."""
+        return list(self._files.values())
+
+    def lookup(self, lfn: str) -> Optional[FileObject]:
+        """The stored file object, or None."""
+        return self._files.get(lfn)
+
+    # -- writes ------------------------------------------------------------
+    def store(self, lfn: str, size: float, reservation: Optional[Reservation] = None) -> FileObject:
+        """Write a file.  Raises :class:`StorageFullError` when the disk
+        cannot take it; draws on ``reservation`` when provided.
+
+        Overwriting an existing LFN replaces it (sizes adjust).
+        """
+        if size < 0:
+            raise ValueError("file size cannot be negative")
+        existing = self._files.get(lfn)
+        freed = existing.size if existing else 0.0
+        if reservation is not None:
+            self._store_reserved(lfn, size, freed, reservation)
+        else:
+            if size - freed > self.free + 1e-9:
+                self.write_failures += 1
+                raise StorageFullError(
+                    f"SE {self.name}: {size:.3e} B does not fit "
+                    f"(free {self.free:.3e} B)"
+                )
+            self._used += size - freed
+        obj = FileObject(lfn, size)
+        self._files[lfn] = obj
+        self.bytes_written += size
+        return obj
+
+    def _store_reserved(self, lfn: str, size: float, freed: float, reservation: Reservation) -> None:
+        if reservation.se is not self:
+            raise ValueError("reservation belongs to a different SE")
+        if reservation.released:
+            raise StorageFullError(f"SE {self.name}: reservation already released")
+        if size > reservation.available + 1e-9:
+            self.write_failures += 1
+            raise StorageFullError(
+                f"SE {self.name}: write of {size:.3e} B exceeds remaining "
+                f"reservation {reservation.available:.3e} B"
+            )
+        reservation.used += size
+        self._reserved -= size
+        self._used += size - freed
+
+    def delete(self, lfn: str) -> None:
+        """Remove a file; unknown LFNs raise ``KeyError``."""
+        obj = self._files.pop(lfn)
+        self._used -= obj.size
+        self.bytes_deleted += obj.size
+
+    def purge(self, fraction: float = 1.0) -> float:
+        """Delete the oldest ``fraction`` of bytes (operator cleanup).
+        Returns bytes freed."""
+        target = self._used * fraction
+        freed = 0.0
+        for lfn in list(self._files):
+            if freed >= target:
+                break
+            obj = self._files[lfn]
+            self.delete(lfn)
+            freed += obj.size
+        return freed
+
+    # -- SRM hooks ----------------------------------------------------------
+    def reserve(self, amount: float) -> Reservation:
+        """Set space aside.  Raises :class:`StorageFullError` if the disk
+        cannot honour it (the SRM layer converts that to a scheduling
+        decision instead of a mid-job crash)."""
+        if amount < 0:
+            raise ValueError("reservation cannot be negative")
+        if amount > self.free + 1e-9:
+            raise StorageFullError(
+                f"SE {self.name}: cannot reserve {amount:.3e} B (free {self.free:.3e} B)"
+            )
+        self._reserved += amount
+        res = Reservation(self, amount)
+        self._reservations.append(res)
+        return res
+
+    def release_reservation(self, reservation: Reservation) -> None:
+        """Return a reservation's unused space to the free pool."""
+        if reservation.released:
+            return
+        reservation.released = True
+        self._reserved -= reservation.available
+        self._reservations.remove(reservation)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SE {self.name} {self._used/1e12:.2f}/{self.capacity/1e12:.2f} TB "
+            f"({len(self._files)} files)>"
+        )

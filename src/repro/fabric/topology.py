@@ -1,0 +1,97 @@
+"""WAN backbone topology: regional trunks between site clusters.
+
+The flat model (site uplink → site downlink) captures edge contention,
+which §6.3 says dominated in practice.  This module adds the next level
+of fidelity when wanted: sites belong to regions (roughly the
+Abilene/ESnet geography of 2003), and inter-region transfers traverse a
+shared regional trunk pair, so a burst between two coasts can congest
+other coast-to-coast flows — without perturbing intra-region traffic.
+
+Trunks default to OC-48-class capacity (2.5 Gbit/s), far above Grid3's
+aggregate demand, matching the paper's observation that problems lived
+at site edges; the ablation-style tests shrink them to show backbone
+contention emerging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.units import MBPS
+from .network import Network
+
+#: Region assignment for the 27 catalog sites.
+SITE_REGION: Dict[str, str] = {
+    "BNL_ATLAS": "east",
+    "BU_ATLAS": "east",
+    "Harvard_ATLAS": "east",
+    "Hampton_HU": "east",
+    "JHU_SDSS": "east",
+    "UB_ACDC": "east",
+    "FNAL_CMS": "midwest",
+    "ANL_HEP": "midwest",
+    "ANL_MCS": "midwest",
+    "IU_ATLAS": "midwest",
+    "IU_Grid3": "midwest",
+    "UC_ATLAS": "midwest",
+    "UC_Grid3": "midwest",
+    "UM_ATLAS": "midwest",
+    "UWMadison_CS": "midwest",
+    "UWM_LIGO": "midwest",
+    "UFL_Grid3": "south",
+    "UFL_HPC": "south",
+    "OU_HEP": "south",
+    "UTA_DPCC": "south",
+    "Vanderbilt_BTeV": "south",
+    "UNM_HPC": "south",
+    "CalTech_PG": "west",
+    "CalTech_Grid3": "west",
+    "UCSD_PG": "west",
+    "LBNL_PDSF": "west",
+    "KNU_Grid3": "asia",
+}
+
+REGIONS = ("east", "midwest", "south", "west", "asia")
+
+#: OC-48 trunk capacity in bytes/s.
+DEFAULT_TRUNK_BANDWIDTH = 2500e6 / 8.0
+
+
+def trunk_name(a: str, b: str) -> str:
+    """Canonical link name for the (unordered) region pair."""
+    lo, hi = sorted((a, b))
+    return f"bb-{lo}-{hi}"
+
+
+def wire_backbone(
+    network: Network,
+    sites: Iterable,
+    trunk_bandwidth: float = DEFAULT_TRUNK_BANDWIDTH,
+    regions: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Create the regional trunk mesh and tag sites with their region.
+
+    Returns the created trunk-link names.  Sites absent from the region
+    map stay untagged (their routes remain edge-only).
+    """
+    regions = regions or SITE_REGION
+    created: List[str] = []
+    for i, a in enumerate(REGIONS):
+        for b in REGIONS[i + 1:]:
+            name = trunk_name(a, b)
+            if name not in network.links:
+                network.add_link(name, trunk_bandwidth)
+                created.append(name)
+    for site in sites:
+        region = regions.get(site.name)
+        if region is not None:
+            site.region = region
+    network.backbone_enabled = True
+    return created
+
+
+def backbone_route(src_region: Optional[str], dst_region: Optional[str]) -> List[str]:
+    """Trunk links between two regions ([] when same/unknown region)."""
+    if not src_region or not dst_region or src_region == dst_region:
+        return []
+    return [trunk_name(src_region, dst_region)]

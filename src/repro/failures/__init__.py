@@ -1,0 +1,7 @@
+"""Failure injection: the Grid3 failure classes as reproducible
+stochastic processes."""
+
+from .injector import FailureInjector
+from .models import FailureProfile, FailureSchedule
+
+__all__ = ["FailureInjector", "FailureProfile", "FailureSchedule"]

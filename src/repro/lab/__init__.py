@@ -1,0 +1,23 @@
+"""The computer-science laboratory side of Grid3 (§1, §4.7).
+
+The paper's first stated goal: "a platform for experimental computer
+science research by GriPhyN and other grid researchers."  This
+subpackage is that platform for the simulated grid: declarative
+experiment specs, parameter sweeps over :class:`Grid3Config`, and
+result tables."""
+
+from .experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    render_results,
+    run_experiment,
+    sweep,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "render_results",
+    "run_experiment",
+    "sweep",
+]

@@ -1,0 +1,148 @@
+"""Experiment harness: declarative sweeps over grid configurations.
+
+Grid3's charter included being a laboratory for grid-computing research
+(§1); the §4.7 demonstrators were exactly such experiments run against
+the production system.  This module makes the simulated grid usable the
+same way:
+
+    spec = ExperimentSpec(
+        name="failure-sensitivity",
+        base=dict(scale=400, duration_days=10, apps=["ivdgl"]),
+        variants={
+            "calm":  dict(failures=FailureProfile.calm()),
+            "noisy": dict(failures=FailureProfile.early()),
+        },
+        metrics={
+            "success": lambda grid: grid.acdc_db.success_rate(),
+            "cpu_days": lambda grid: grid.acdc_db.total_cpu_days(),
+        },
+        repeats=3,
+    )
+    results = run_experiment(spec)
+    print(render_results(results))
+
+Each (variant, seed) cell builds a fresh :class:`Grid3`, runs the full
+window, evaluates every metric, and reports mean ± spread across
+repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.report import render_table
+from ..core.grid3 import Grid3, Grid3Config
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative experiment."""
+
+    name: str
+    #: Keyword arguments shared by every variant (Grid3Config fields).
+    base: Dict[str, object]
+    #: variant name -> config overrides.
+    variants: Dict[str, Dict[str, object]]
+    #: metric name -> fn(grid) -> float, evaluated post-run.
+    metrics: Dict[str, Callable[[Grid3], float]]
+    #: Independent seeds per variant.
+    repeats: int = 1
+    #: Base seed; repeat ``i`` uses ``seed0 + i``.
+    seed0: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if not self.variants:
+            raise ValueError("need at least one variant")
+        if not self.metrics:
+            raise ValueError("need at least one metric")
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated outcomes for one variant."""
+
+    variant: str
+    repeats: int
+    #: metric -> per-repeat values.
+    samples: Dict[str, tuple]
+
+    def mean(self, metric: str) -> float:
+        return float(np.mean(self.samples[metric]))
+
+    def std(self, metric: str) -> float:
+        return float(np.std(self.samples[metric]))
+
+    def minmax(self, metric: str) -> tuple:
+        values = self.samples[metric]
+        return (min(values), max(values))
+
+
+def _run_cell(spec: ExperimentSpec, variant: str, repeat: int) -> Grid3:
+    kwargs = dict(spec.base)
+    kwargs.update(spec.variants[variant])
+    kwargs["seed"] = spec.seed0 + repeat
+    grid = Grid3(Grid3Config(**kwargs))
+    grid.run_full()
+    return grid
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ExperimentResult]:
+    """Run every (variant × repeat) cell and aggregate the metrics."""
+    results: List[ExperimentResult] = []
+    for variant in spec.variants:
+        collected: Dict[str, List[float]] = {m: [] for m in spec.metrics}
+        for repeat in range(spec.repeats):
+            if progress is not None:
+                progress(f"{spec.name}: {variant} repeat {repeat + 1}/{spec.repeats}")
+            grid = _run_cell(spec, variant, repeat)
+            for metric, fn in spec.metrics.items():
+                collected[metric].append(float(fn(grid)))
+        results.append(ExperimentResult(
+            variant=variant,
+            repeats=spec.repeats,
+            samples={m: tuple(v) for m, v in collected.items()},
+        ))
+    return results
+
+
+def sweep(
+    name: str,
+    base: Dict[str, object],
+    parameter: str,
+    values: Sequence[object],
+    metrics: Dict[str, Callable[[Grid3], float]],
+    repeats: int = 1,
+    seed0: int = 1000,
+) -> List[ExperimentResult]:
+    """Convenience: a one-parameter sweep (variant per value)."""
+    variants = {f"{parameter}={value!r}": {parameter: value} for value in values}
+    spec = ExperimentSpec(
+        name=name, base=base, variants=variants,
+        metrics=metrics, repeats=repeats, seed0=seed0,
+    )
+    return run_experiment(spec)
+
+
+def render_results(results: List[ExperimentResult]) -> str:
+    """Mean ± std table across variants."""
+    if not results:
+        return "(no results)"
+    metric_names = sorted(results[0].samples)
+    headers = ["variant", "n"] + metric_names
+    rows = []
+    for result in results:
+        cells = [result.variant, result.repeats]
+        for metric in metric_names:
+            mean = result.mean(metric)
+            std = result.std(metric)
+            cells.append(f"{mean:.3g}±{std:.2g}" if result.repeats > 1 else f"{mean:.3g}")
+        rows.append(cells)
+    return render_table(headers, rows)

@@ -1,0 +1,270 @@
+"""A dCache-style pooled storage manager (§2).
+
+"Additional services such as Replica Location Service (RLS), Storage
+Resource Manager (SRM), and dCache, can be provided by individual VOs if
+desired."  The Tier1s ran dCache in front of their tape/disk farms: many
+independent disk *pools* behind a single logical door, with pool
+selection on write, replica hotspot handling, and pool drain for
+maintenance.
+
+:class:`DCachePoolManager` presents the same interface surface as a
+:class:`~repro.fabric.storage.StorageElement` for store/lookup/delete —
+so the Tier1 archive in a simulation can be swapped from a flat SE to a
+pooled one — while adding pool-level behaviours: least-loaded pool
+selection, per-pool failure isolation (one dead pool loses only its own
+files), and hot-file replication across pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ReplicaNotFoundError, StorageFullError
+from ..fabric.storage import FileObject, StorageElement
+from ..sim.engine import Engine
+
+
+class Pool:
+    """One disk pool: a StorageElement plus liveness."""
+
+    def __init__(self, engine: Engine, name: str, capacity: float) -> None:
+        self.storage = StorageElement(engine, name, capacity)
+        self.online = True
+        self.reads = 0
+
+    @property
+    def name(self) -> str:
+        return self.storage.name
+
+    def __repr__(self) -> str:
+        state = "up" if self.online else "down"
+        return f"<Pool {self.name} {state} {self.storage.used:.2e}/{self.storage.capacity:.2e}>"
+
+
+class DCachePoolManager:
+    """Many pools behind one logical namespace."""
+
+    def __init__(self, engine: Engine, name: str, pool_count: int,
+                 pool_capacity: float) -> None:
+        if pool_count < 1:
+            raise ValueError("need at least one pool")
+        self.engine = engine
+        self.name = name
+        self.pools: List[Pool] = [
+            Pool(engine, f"{name}-pool{i:02d}", pool_capacity)
+            for i in range(pool_count)
+        ]
+        #: lfn -> list of pools holding a replica (first = primary).
+        self._locations: Dict[str, List[Pool]] = {}
+
+    # -- capacity (SE-compatible surface) -----------------------------------
+    @property
+    def capacity(self) -> float:
+        return sum(p.storage.capacity for p in self.pools)
+
+    @property
+    def used(self) -> float:
+        return sum(p.storage.used for p in self.pools)
+
+    @property
+    def free(self) -> float:
+        """Free space on *online* pools (offline capacity is unusable)."""
+        return sum(p.storage.free for p in self.pools if p.online)
+
+    def __contains__(self, lfn: str) -> bool:
+        return any(p.online for p in self._locations.get(lfn, ()))
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    # -- pool selection -----------------------------------------------------
+    def _select_pool(self, size: float) -> Pool:
+        """Least-utilised online pool with room; StorageFullError when
+        nothing fits (the cost of pool granularity: free space can be
+        fragmented across pools)."""
+        candidates = [
+            p for p in self.pools
+            if p.online and p.storage.free >= size
+        ]
+        if not candidates:
+            raise StorageFullError(
+                f"dCache {self.name}: no online pool has {size:.3e} B free"
+            )
+        return min(candidates, key=lambda p: p.storage.utilisation)
+
+    # -- namespace operations ----------------------------------------------------
+    def store(self, lfn: str, size: float, reservation=None) -> FileObject:
+        """Write a file into the best pool.
+
+        With a ``reservation`` (issued by :meth:`reserve` against one of
+        our pools), the write lands on the reserving pool and draws on
+        it; otherwise least-utilised pool selection applies.
+        """
+        if reservation is not None:
+            pool = next(
+                (p for p in self.pools if p.storage is reservation.se), None
+            )
+            if pool is not None:
+                obj = pool.storage.store(lfn, size, reservation=reservation)
+                holders = self._locations.setdefault(lfn, [])
+                if pool not in holders:
+                    holders.append(pool)
+                return obj
+        pool = self._select_pool(size)
+        obj = pool.storage.store(lfn, size)
+        holders = self._locations.setdefault(lfn, [])
+        if pool not in holders:
+            holders.append(pool)
+        return obj
+
+    def lookup(self, lfn: str) -> Optional[FileObject]:
+        """The file object from any online holder, or None."""
+        for pool in self._locations.get(lfn, ()):
+            if pool.online:
+                obj = pool.storage.lookup(lfn)
+                if obj is not None:
+                    pool.reads += 1
+                    return obj
+        return None
+
+    def delete(self, lfn: str) -> None:
+        """Remove every replica; KeyError when unknown."""
+        holders = self._locations.pop(lfn)
+        for pool in holders:
+            if lfn in pool.storage:
+                pool.storage.delete(lfn)
+
+    # -- dCache-specific behaviours -----------------------------------------------
+    def replicate(self, lfn: str, copies: int = 2) -> int:
+        """Spread a hot file across pools; returns replica count."""
+        holders = self._locations.get(lfn)
+        if not holders:
+            raise ReplicaNotFoundError(lfn)
+        primary = next((p for p in holders if p.online), None)
+        if primary is None:
+            raise ReplicaNotFoundError(f"{lfn}: all holders offline")
+        obj = primary.storage.lookup(lfn)
+        for pool in sorted(self.pools, key=lambda p: p.storage.utilisation):
+            if len([p for p in holders if p.online]) >= copies:
+                break
+            if pool in holders or not pool.online:
+                continue
+            if pool.storage.free < obj.size:
+                continue
+            pool.storage.store(lfn, obj.size)
+            holders.append(pool)
+        return len([p for p in holders if p.online])
+
+    def fail_pool(self, pool: Pool) -> List[str]:
+        """Take a pool offline; returns LFNs that lost their *last*
+        online replica (the isolation benefit: everything else survives)."""
+        pool.online = False
+        lost = []
+        for lfn, holders in self._locations.items():
+            if pool in holders and not any(p.online for p in holders):
+                lost.append(lfn)
+        return sorted(lost)
+
+    def restore_pool(self, pool: Pool) -> None:
+        pool.online = True
+
+    def drain_pool(self, pool: Pool) -> int:
+        """Maintenance drain: migrate the pool's files elsewhere, then
+        take it offline.  Returns files migrated.  Raises
+        StorageFullError if the rest of the farm cannot absorb them."""
+        migrated = 0
+        for lfn in list(pool.storage._files):
+            obj = pool.storage.lookup(lfn)
+            holders = self._locations[lfn]
+            others = [
+                p for p in self.pools
+                if p is not pool and p.online and p.storage.free >= obj.size
+            ]
+            target = next(
+                (p for p in others if p not in holders),
+                None,
+            )
+            if target is None and not any(
+                p is not pool and p.online and lfn in p.storage for p in holders
+            ):
+                raise StorageFullError(
+                    f"dCache {self.name}: cannot drain {pool.name}, "
+                    f"{lfn} has nowhere to go"
+                )
+            if target is not None:
+                target.storage.store(lfn, obj.size)
+                holders.append(target)
+                migrated += 1
+            pool.storage.delete(lfn)
+            holders.remove(pool)
+        pool.online = False
+        return migrated
+
+    # -- full StorageElement interface compatibility --------------------------
+    # (so a Site's .storage can be swapped for a pool manager: probes,
+    #  Ganglia, the ops team, and SRM all keep working.)
+    @property
+    def reserved(self) -> float:
+        return sum(p.storage.reserved for p in self.pools)
+
+    @property
+    def utilisation(self) -> float:
+        cap = self.capacity
+        return self.used / cap if cap else 0.0
+
+    @property
+    def bytes_written(self) -> float:
+        return sum(p.storage.bytes_written for p in self.pools)
+
+    @property
+    def bytes_deleted(self) -> float:
+        return sum(p.storage.bytes_deleted for p in self.pools)
+
+    @property
+    def write_failures(self) -> int:
+        return sum(p.storage.write_failures for p in self.pools)
+
+    def files(self) -> List[FileObject]:
+        """Every distinct logical file (one entry per LFN)."""
+        out = []
+        for lfn, holders in self._locations.items():
+            for pool in holders:
+                obj = pool.storage.lookup(lfn)
+                if obj is not None:
+                    out.append(obj)
+                    break
+        return out
+
+    def reserve(self, amount: float):
+        """SRM hook: reserve on the pool with the most headroom."""
+        candidates = [p for p in self.pools if p.online]
+        if not candidates:
+            raise StorageFullError(f"dCache {self.name}: no online pools")
+        best = max(candidates, key=lambda p: p.storage.free)
+        return best.storage.reserve(amount)
+
+    def release_reservation(self, reservation) -> None:
+        reservation.se.release_reservation(reservation)
+
+    def purge(self, fraction: float = 1.0) -> float:
+        """Operator cleanup across pools (oldest-first per pool)."""
+        target = self.used * fraction
+        freed = 0.0
+        for lfn in list(self._locations):
+            if freed >= target:
+                break
+            holders = self._locations[lfn]
+            size = 0.0
+            for pool in holders:
+                obj = pool.storage.lookup(lfn)
+                if obj is not None:
+                    size = obj.size
+                    break
+            self.delete(lfn)
+            freed += size
+        return freed
+
+    def __repr__(self) -> str:
+        online = sum(1 for p in self.pools if p.online)
+        return f"<dCache {self.name} {online}/{len(self.pools)} pools {len(self)} files>"

@@ -1,0 +1,112 @@
+"""GLUE schema validation (§5.1).
+
+"Conventions were documented to provide grid facility administrators and
+operators with uniform instructions with the goal of obtaining a
+consistent Grid3 environment over the heterogeneous sites ... Only a few
+extensions to the GLUE MDS schema were required."
+
+The schema below is the machine-checkable form of those conventions:
+which attributes a site record must publish, their types, and simple
+range constraints.  :func:`validate_record` is what the iGOC's
+information-quality checks run against every GRIS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: attribute -> (type, required).  The ``grid3_*`` names are the paper's
+#: "few extensions" for application install areas, scratch dirs, SE
+#: locations and VDT paths.
+GLUE_SCHEMA: Dict[str, Tuple[type, bool]] = {
+    # GLUE CE
+    "site": (str, True),
+    "institution": (str, True),
+    "owner_vo": (str, True),
+    "total_cpus": (int, True),
+    "free_cpus": (int, True),
+    "busy_cpus": (int, True),
+    "queue_length": (int, False),
+    "estimated_wait": (float, False),
+    "batch_system": (str, True),
+    "max_walltime": (float, True),
+    "status": (str, True),
+    # GLUE SE
+    "se_name": (str, True),
+    "se_capacity": (float, True),
+    "se_free": (float, True),
+    # selection attributes
+    "outbound_connectivity": (bool, True),
+    "access_bandwidth": (float, True),
+    # Grid3 extensions (§5.1)
+    "grid3_app_dir": (str, True),
+    "grid3_tmp_dir": (str, True),
+    "grid3_data_dir": (str, True),
+    "grid3_vdt_location": (str, True),
+    "grid3_installed_packages": (list, True),
+}
+
+#: Allowed values for enumerated attributes.
+ENUMS = {
+    "batch_system": {"pbs", "condor", "lsf", "fifo"},
+    "status": {"online", "offline", "degraded"},
+}
+
+
+def validate_record(record: Dict[str, object]) -> List[str]:
+    """Check one published site record against the Grid3 GLUE conventions.
+
+    Returns a list of problems (empty = conformant).
+    """
+    problems: List[str] = []
+    for attr, (expected_type, required) in GLUE_SCHEMA.items():
+        if attr not in record:
+            if required:
+                problems.append(f"missing required attribute {attr}")
+            continue
+        value = record[attr]
+        if expected_type is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif expected_type is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected_type)
+        if not ok:
+            problems.append(
+                f"{attr} has type {type(value).__name__}, "
+                f"expected {expected_type.__name__}"
+            )
+    for attr, allowed in ENUMS.items():
+        value = record.get(attr)
+        if value is not None and value not in allowed:
+            problems.append(f"{attr}={value!r} not in {sorted(allowed)}")
+    # Consistency constraints (only when the operands are numeric —
+    # type problems were already reported above).
+    def _num(key):
+        value = record.get(key)
+        return value if isinstance(value, (int, float)) and not isinstance(value, bool) else None
+
+    total, free, busy = _num("total_cpus"), _num("free_cpus"), _num("busy_cpus")
+    if None not in (total, free, busy) and free + busy > total:
+        problems.append("free_cpus + busy_cpus exceeds total_cpus")
+    cap, se_free = _num("se_capacity"), _num("se_free")
+    if None not in (cap, se_free) and se_free > cap:
+        problems.append("se_free exceeds se_capacity")
+    # Grid3 convention: directories are absolute paths.
+    for attr in ("grid3_app_dir", "grid3_tmp_dir", "grid3_data_dir",
+                 "grid3_vdt_location"):
+        value = record.get(attr)
+        if isinstance(value, str) and not value.startswith("/"):
+            problems.append(f"{attr}={value!r} is not an absolute path")
+    return problems
+
+
+def validate_giis(giis) -> Dict[str, List[str]]:
+    """Validate every live record in an index; returns site -> problems
+    (only sites with problems appear)."""
+    out: Dict[str, List[str]] = {}
+    for record in giis.query_all():
+        problems = validate_record(record)
+        if problems:
+            out[str(record.get("site", "?"))] = problems
+    return out

@@ -1,0 +1,167 @@
+"""NetLogger analysis: the §4.7 instrumented-GridFTP demonstrator.
+
+"NetLogger-instrumented GridFTP was used to monitor the Globus Toolkit
+GridFTP server and URL copy program.  NetLogger events were generated at
+program start, end, and on errors (the default) and for all significant
+I/O requests (by request)."
+
+Every :class:`~repro.middleware.gridftp.GridFTPServer` already emits the
+start/end/error event stream; this module is the *analysis* side — the
+equivalent of the "Netlogger-Instrumented GridFTP Data Archive" the
+paper links: pair up start/end events into transfer lifelines, compute
+throughput statistics, and flag anomalies (stalled or failed transfers)
+without touching the servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .gridftp import GridFTPServer, NetLoggerEvent
+
+
+@dataclass(frozen=True)
+class TransferLifeline:
+    """One reconstructed transfer: start event joined to its outcome."""
+
+    host: str
+    lfn: str
+    size: float
+    started_at: float
+    ended_at: float           # -1 while unfinished
+    outcome: str              # "ok" | "error" | "in-flight"
+    error_detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (-1 while unfinished)."""
+        if self.ended_at < 0:
+            return -1.0
+        return self.ended_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Bytes/second achieved (0 for failed/unfinished transfers)."""
+        if self.outcome != "ok" or self.duration <= 0:
+            return 0.0
+        return self.size / self.duration
+
+
+def reconstruct_lifelines(events: Iterable[NetLoggerEvent]) -> List[TransferLifeline]:
+    """Join start events to their end/error events, in order.
+
+    Events for the same LFN are paired FIFO (a re-transfer of the same
+    file produces a second lifeline).  Unterminated starts become
+    "in-flight" lifelines.
+    """
+    open_starts: Dict[str, List[NetLoggerEvent]] = {}
+    lifelines: List[TransferLifeline] = []
+    for event in sorted(events, key=lambda e: e.time):
+        if event.event == "transfer.start":
+            open_starts.setdefault(event.lfn, []).append(event)
+        elif event.event in ("transfer.end", "transfer.error"):
+            starts = open_starts.get(event.lfn)
+            if not starts:
+                continue  # orphan end (truncated log ring)
+            start = starts.pop(0)
+            lifelines.append(
+                TransferLifeline(
+                    host=start.host,
+                    lfn=start.lfn,
+                    size=start.size,
+                    started_at=start.time,
+                    ended_at=event.time,
+                    outcome="ok" if event.event == "transfer.end" else "error",
+                    error_detail=event.detail,
+                )
+            )
+    for starts in open_starts.values():
+        for start in starts:
+            lifelines.append(
+                TransferLifeline(
+                    host=start.host, lfn=start.lfn, size=start.size,
+                    started_at=start.time, ended_at=-1.0, outcome="in-flight",
+                )
+            )
+    lifelines.sort(key=lambda l: l.started_at)
+    return lifelines
+
+
+@dataclass(frozen=True)
+class TransferStatistics:
+    """Aggregate view over a set of lifelines."""
+
+    transfers: int
+    ok: int
+    errors: int
+    in_flight: int
+    bytes_moved: float
+    mean_throughput: float
+    peak_throughput: float
+
+    @property
+    def reliability(self) -> float:
+        """ok / terminated — §6.3's 'ran reliably' number."""
+        terminated = self.ok + self.errors
+        return self.ok / terminated if terminated else 0.0
+
+
+def compute_statistics(lifelines: Iterable[TransferLifeline]) -> TransferStatistics:
+    """Summarise lifelines into the archive's headline statistics."""
+    lifelines = list(lifelines)
+    ok = [l for l in lifelines if l.outcome == "ok"]
+    errors = [l for l in lifelines if l.outcome == "error"]
+    in_flight = [l for l in lifelines if l.outcome == "in-flight"]
+    throughputs = [l.throughput for l in ok if l.throughput > 0]
+    return TransferStatistics(
+        transfers=len(lifelines),
+        ok=len(ok),
+        errors=len(errors),
+        in_flight=len(in_flight),
+        bytes_moved=sum(l.size for l in ok),
+        mean_throughput=sum(throughputs) / len(throughputs) if throughputs else 0.0,
+        peak_throughput=max(throughputs) if throughputs else 0.0,
+    )
+
+
+def analyse_server(server: GridFTPServer) -> TransferStatistics:
+    """One server's archive page."""
+    return compute_statistics(reconstruct_lifelines(server.netlogger))
+
+
+def grid_archive(servers: Iterable[GridFTPServer]) -> Dict[str, TransferStatistics]:
+    """host -> statistics over a whole grid (the central archive view)."""
+    return {
+        server.site.name: analyse_server(server)
+        for server in servers
+    }
+
+
+def find_anomalies(
+    lifelines: Iterable[TransferLifeline],
+    now: float,
+    slow_factor: float = 5.0,
+    stall_age: float = 3600.0,
+) -> List[Tuple[str, TransferLifeline]]:
+    """Flag problem transfers: errors, stalls, and slow outliers.
+
+    A transfer is *slow* when its throughput is ``slow_factor`` below
+    the population mean; *stalled* when in-flight longer than
+    ``stall_age``.
+    """
+    lifelines = list(lifelines)
+    stats = compute_statistics(lifelines)
+    flagged: List[Tuple[str, TransferLifeline]] = []
+    for lifeline in lifelines:
+        if lifeline.outcome == "error":
+            flagged.append(("error", lifeline))
+        elif lifeline.outcome == "in-flight" and now - lifeline.started_at > stall_age:
+            flagged.append(("stalled", lifeline))
+        elif (
+            lifeline.outcome == "ok"
+            and stats.mean_throughput > 0
+            and 0 < lifeline.throughput < stats.mean_throughput / slow_factor
+        ):
+            flagged.append(("slow", lifeline))
+    return flagged

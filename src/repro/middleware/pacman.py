@@ -1,0 +1,178 @@
+"""Pacman packaging and the site installation pipeline (§5.1).
+
+"Procedures for installation, configuration, post-installation testing,
+and certification of the basic middleware services were devised and
+documented.  The Pacman packaging and configuration tool was used
+extensively to facilitate the process."
+
+A :class:`Package` declares dependencies and an optional ``configure``
+payload run against the site at install time (this is how the VDT
+meta-package attaches services).  :class:`PacmanCache` is the central
+package repository hosted at the iGOC.  :func:`install` is a simulation
+process: dependency resolution is topological, each package costs
+install time, and a per-site misconfiguration probability reproduces the
+§6.2 failure class ("jobs often failed due to site configuration
+problems") — a misconfigured install *succeeds* but leaves the site
+flagged until post-install validation catches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..errors import PackagingError
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..sim.units import MINUTE
+
+
+@dataclass
+class Package:
+    """A Pacman package: name, dependencies, install cost, payload."""
+
+    name: str
+    version: str = "1.0"
+    depends: List[str] = field(default_factory=list)
+    #: Simulated wall-clock install duration.
+    install_time: float = 5 * MINUTE
+    #: Optional hook run against the Site at install time.
+    configure: Optional[Callable] = None
+
+
+class PacmanCache:
+    """The central package repository (hosted at the iGOC, §5.4)."""
+
+    def __init__(self) -> None:
+        self._packages: Dict[str, Package] = {}
+        self.fetches = 0
+
+    def publish(self, package: Package) -> None:
+        """Add/replace a package in the cache."""
+        self._packages[package.name] = package
+
+    def fetch(self, name: str) -> Package:
+        """Retrieve a package; unknown names raise PackagingError."""
+        try:
+            pkg = self._packages[name]
+        except KeyError:
+            raise PackagingError(f"package {name!r} not in cache") from None
+        self.fetches += 1
+        return pkg
+
+    def names(self) -> List[str]:
+        """All published package names."""
+        return sorted(self._packages)
+
+
+def resolve(cache: PacmanCache, name: str) -> List[Package]:
+    """Topologically ordered transitive dependency closure of ``name``.
+
+    Dependencies come before dependents; cycles raise PackagingError.
+    """
+    order: List[Package] = []
+    seen: Set[str] = set()
+    visiting: Set[str] = set()
+
+    def visit(pkg_name: str) -> None:
+        if pkg_name in seen:
+            return
+        if pkg_name in visiting:
+            raise PackagingError(f"dependency cycle through {pkg_name!r}")
+        visiting.add(pkg_name)
+        pkg = cache.fetch(pkg_name)
+        for dep in pkg.depends:
+            visit(dep)
+        visiting.discard(pkg_name)
+        seen.add(pkg_name)
+        order.append(pkg)
+
+    visit(name)
+    return order
+
+
+def _version_map(site) -> Dict[str, str]:
+    """The site's installed-version registry (created on first use).
+
+    ``site.installed_packages`` (a name set) stays the compatibility
+    surface; versions ride alongside so re-publishing a package at a new
+    version makes :func:`install` upgrade it — the §9 "currently
+    undergoing upgrades" operation.
+    """
+    versions = site.services.get("package-versions")
+    if versions is None:
+        versions = {name: "?" for name in site.installed_packages}
+        site.attach_service("package-versions", versions)
+    return versions
+
+
+def installed_version(site, name: str) -> Optional[str]:
+    """The installed version of a package at a site (None if absent)."""
+    if name not in site.installed_packages:
+        return None
+    return _version_map(site).get(name)
+
+
+def install(
+    engine: Engine,
+    cache: PacmanCache,
+    site,
+    name: str,
+    rng: Optional[RngRegistry] = None,
+    misconfig_probability: float = 0.0,
+):
+    """Simulation process: install ``name`` (plus deps) onto ``site``.
+
+    Yields install-time timeouts per package; returns the list of
+    package names newly installed.  With probability
+    ``misconfig_probability`` the site ends up silently misconfigured
+    (``site.services["misconfigured"]`` is set) — post-install validation
+    (:func:`validate_site`) or the Site Status Catalog discovers it later.
+    """
+    installed: List[str] = []
+    versions = _version_map(site)
+    for pkg in resolve(cache, name):
+        if versions.get(pkg.name) == pkg.version:
+            continue  # already at this version
+        yield engine.timeout(pkg.install_time)
+        if pkg.configure is not None:
+            pkg.configure(site)
+        site.installed_packages.add(pkg.name)
+        versions[pkg.name] = pkg.version
+        installed.append(pkg.name)
+    if rng is not None and misconfig_probability > 0:
+        if rng.bernoulli(f"pacman.misconfig.{site.name}", misconfig_probability):
+            site.attach_service("misconfigured", True)
+    return installed
+
+
+def validate_site(site, required_packages: Iterable[str]) -> List[str]:
+    """Post-installation testing (§5.1): returns a list of problems.
+
+    Empty list means the site passes certification.
+    """
+    problems = []
+    for pkg in required_packages:
+        if pkg not in site.installed_packages:
+            problems.append(f"missing package {pkg}")
+    if site.services.get("misconfigured"):
+        problems.append("site misconfigured (bad paths/environment)")
+    for role in ("gatekeeper", "gridftp", "gris"):
+        if role not in site.services:
+            problems.append(f"missing service {role}")
+    return problems
+
+
+def certify_site(site, required_packages: Iterable[str]) -> bool:
+    """Certification: validation passes and the site is marked online."""
+    problems = validate_site(site, required_packages)
+    if problems:
+        site.status = "degraded"
+        return False
+    site.status = "online"
+    return True
+
+
+def fix_misconfiguration(site) -> None:
+    """Operator remediation: clear the misconfiguration flag."""
+    site.services.pop("misconfigured", None)

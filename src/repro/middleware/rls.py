@@ -1,0 +1,156 @@
+"""Replica Location Service (Giggle-style LRC + RLI), §2/§4.
+
+Applications "record them into RLS" (ATLAS, §4.1) and publish staged
+data locations "in RLS so that its location is available to the job"
+(LIGO, §4.4).  The architecture follows the Giggle framework the paper
+cites: per-site **Local Replica Catalogs** map logical file names to
+physical locations at that site; a global **Replica Location Index**
+maps LFNs to the LRCs that hold them.  Index updates are soft-state and
+slightly stale in the real system; we propagate synchronously and note
+the simplification (queries here can never be *more* stale than real
+RLS, so failure rates are conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import ReplicaNotFoundError, ServiceUnavailableError
+from ..sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One physical copy of a logical file."""
+
+    lfn: str
+    site: str
+    pfn: str
+    size: float
+
+
+class LocalReplicaCatalog:
+    """LFN → physical replicas at one site."""
+
+    def __init__(self, site_name: str) -> None:
+        self.site_name = site_name
+        self._replicas: Dict[str, Replica] = {}
+        self.available = True
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self._replicas
+
+    def add(self, lfn: str, size: float, pfn: Optional[str] = None) -> Replica:
+        """Record a replica of ``lfn`` at this site."""
+        replica = Replica(
+            lfn=lfn,
+            site=self.site_name,
+            pfn=pfn or f"gsiftp://{self.site_name}/{lfn.lstrip('/')}",
+            size=size,
+        )
+        self._replicas[lfn] = replica
+        return replica
+
+    def remove(self, lfn: str) -> None:
+        """Forget a replica if present."""
+        self._replicas.pop(lfn, None)
+
+    def lookup(self, lfn: str) -> Replica:
+        """The local replica of ``lfn`` (raises ReplicaNotFoundError)."""
+        if not self.available:
+            raise ServiceUnavailableError(f"LRC at {self.site_name} is down")
+        try:
+            return self._replicas[lfn]
+        except KeyError:
+            raise ReplicaNotFoundError(f"{lfn} not at {self.site_name}") from None
+
+    def lfns(self) -> List[str]:
+        """All logical names catalogued here."""
+        return sorted(self._replicas)
+
+
+class ReplicaLocationIndex:
+    """Global LFN → {site} index over all LRCs."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._lrcs: Dict[str, LocalReplicaCatalog] = {}
+        self._index: Dict[str, Set[str]] = {}
+        self.available = True
+        #: Lifetime registration count (monitoring/Table-1 feeds).
+        self.registrations = 0
+        self.lookups = 0
+
+    # -- topology -----------------------------------------------------------
+    def attach_lrc(self, lrc: LocalReplicaCatalog) -> None:
+        """Register a site's LRC with the index."""
+        self._lrcs[lrc.site_name] = lrc
+
+    def lrc(self, site_name: str) -> LocalReplicaCatalog:
+        """The LRC for a site (KeyError if not attached)."""
+        return self._lrcs[site_name]
+
+    # -- mutation --------------------------------------------------------------
+    def register(self, site_name: str, lfn: str, size: float) -> Replica:
+        """Record a new replica at ``site_name`` and index it.
+
+        This is the "registration to RLS" step whose failure counted
+        toward ATLAS's 30 % (§6.1) — callers treat exceptions here as a
+        job failure.
+        """
+        if not self.available:
+            raise ServiceUnavailableError("RLS index is down")
+        replica = self._lrcs[site_name].add(lfn, size)
+        self._index.setdefault(lfn, set()).add(site_name)
+        self.registrations += 1
+        return replica
+
+    def unregister(self, site_name: str, lfn: str) -> None:
+        """Remove a replica from the site LRC and the index."""
+        lrc = self._lrcs.get(site_name)
+        if lrc is not None:
+            lrc.remove(lfn)
+        sites = self._index.get(lfn)
+        if sites is not None:
+            sites.discard(site_name)
+            if not sites:
+                del self._index[lfn]
+
+    # -- queries ------------------------------------------------------------
+    def sites_with(self, lfn: str) -> List[str]:
+        """Sites holding a replica of ``lfn`` (empty list if none)."""
+        if not self.available:
+            raise ServiceUnavailableError("RLS index is down")
+        self.lookups += 1
+        return sorted(self._index.get(lfn, ()))
+
+    def locate(self, lfn: str) -> List[Replica]:
+        """All replicas of ``lfn``; raises ReplicaNotFoundError if none."""
+        sites = self.sites_with(lfn)
+        replicas = []
+        for site in sites:
+            try:
+                replicas.append(self._lrcs[site].lookup(lfn))
+            except (ReplicaNotFoundError, ServiceUnavailableError):
+                continue
+        if not replicas:
+            raise ReplicaNotFoundError(lfn)
+        return replicas
+
+    def best_replica(self, lfn: str, prefer_sites: Optional[List[str]] = None) -> Replica:
+        """One replica, preferring ``prefer_sites`` order if given."""
+        replicas = self.locate(lfn)
+        if prefer_sites:
+            by_site = {r.site: r for r in replicas}
+            for site in prefer_sites:
+                if site in by_site:
+                    return by_site[site]
+        return replicas[0]
+
+    def catalogued_lfns(self) -> List[str]:
+        """Every logical name with at least one replica."""
+        return sorted(self._index)

@@ -1,0 +1,93 @@
+"""The Virtual Data Toolkit meta-package (§2, §5.1).
+
+"We opted for a middleware installation based on the Virtual Data
+Toolkit (VDT), which provides services from the Globus Toolkit, Condor,
+GriPhyN, and PPDG ... A Pacman package encoded the basic VDT-based
+Grid3 installation."
+
+:func:`vdt_package_set` returns the Pacman packages whose ``configure``
+payloads wire the actual service objects onto a site — so a site only
+becomes usable after :func:`repro.middleware.pacman.install` has run the
+``grid3-site`` package against it, exactly like the real deployment
+procedure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.engine import Engine
+from ..sim.units import MINUTE
+from .gram import attach_gatekeeper
+from .gridftp import attach_gridftp
+from .gsi import Authenticator, GridMapFile
+from .mds import GRIS
+from .pacman import Package
+
+#: The package a certified Grid3 site must have (transitively).
+GRID3_SITE_PACKAGE = "grid3-site"
+
+#: Packages whose presence post-install validation checks.
+REQUIRED_PACKAGES = [
+    "globus-gsi",
+    "globus-gram",
+    "globus-gridftp",
+    "mds-gris",
+    "ganglia",
+    "monalisa-agent",
+    "vdt-base",
+    GRID3_SITE_PACKAGE,
+]
+
+
+def vdt_package_set(engine: Engine, trusted_cas: List[str]) -> List[Package]:
+    """Build the Grid3 VDT package graph.
+
+    Service construction closes over ``engine`` and the trusted CA list;
+    the grid-map contents are filled in later by the VOMS refresh
+    (:func:`repro.middleware.voms.refresh_site_gridmaps`).
+    """
+
+    def cfg_gsi(site) -> None:
+        gridmap = site.services.get("gridmap")
+        if not isinstance(gridmap, GridMapFile):
+            gridmap = GridMapFile()
+            site.attach_service("gridmap", gridmap)
+        site.attach_service(
+            "authenticator", Authenticator(engine, trusted_cas, gridmap)
+        )
+
+    def cfg_gram(site) -> None:
+        attach_gatekeeper(engine, site, site.service("authenticator"))
+
+    def cfg_gridftp(site) -> None:
+        attach_gridftp(engine, site)
+
+    def cfg_gris(site) -> None:
+        site.attach_service("gris", GRIS(engine, site))
+
+    def cfg_marker(role):
+        def _cfg(site, role=role) -> None:
+            # Monitoring daemons are attached by the monitoring layer;
+            # the package drops the installed marker it keys off.
+            site.attach_service(f"{role}-installed", True)
+        return _cfg
+
+    return [
+        Package("globus-gsi", depends=[], install_time=3 * MINUTE, configure=cfg_gsi),
+        Package("globus-gram", depends=["globus-gsi"], install_time=5 * MINUTE, configure=cfg_gram),
+        Package("globus-gridftp", depends=["globus-gsi"], install_time=4 * MINUTE, configure=cfg_gridftp),
+        Package("mds-gris", depends=["globus-gsi"], install_time=3 * MINUTE, configure=cfg_gris),
+        Package("ganglia", depends=[], install_time=3 * MINUTE, configure=cfg_marker("ganglia")),
+        Package("monalisa-agent", depends=[], install_time=3 * MINUTE, configure=cfg_marker("monalisa")),
+        Package(
+            "vdt-base",
+            depends=["globus-gram", "globus-gridftp", "mds-gris"],
+            install_time=10 * MINUTE,
+        ),
+        Package(
+            GRID3_SITE_PACKAGE,
+            depends=["vdt-base", "ganglia", "monalisa-agent"],
+            install_time=8 * MINUTE,
+        ),
+    ]

@@ -1,0 +1,36 @@
+"""The Grid3 monitoring framework (Figure 1): producers, intermediaries,
+consumers — Ganglia, MonALISA, ACDC, the Site Status Catalog, MDViewer."""
+
+from .acdc import ACDCDatabase, ACDCJobMonitor, JobRecord
+from .core import MetricSample, MetricStore, PeriodicProducer, make_tags
+from .ganglia import GangliaAgent, GangliaWeb
+from .mdviewer import MDViewer
+from .monalisa import MonALISAAgent, MonALISARepository
+from .rrd import RoundRobinDatabase
+from .sitecatalog import ProbeResult, SiteStatusCatalog, probe_site
+from .statusmap import SITE_LOCATIONS, render_status_map, status_map_for_catalog
+from .transfers import TransferEntry, TransferLedger
+
+__all__ = [
+    "ACDCDatabase",
+    "ACDCJobMonitor",
+    "GangliaAgent",
+    "GangliaWeb",
+    "JobRecord",
+    "MDViewer",
+    "MetricSample",
+    "MetricStore",
+    "MonALISAAgent",
+    "MonALISARepository",
+    "PeriodicProducer",
+    "ProbeResult",
+    "RoundRobinDatabase",
+    "SITE_LOCATIONS",
+    "render_status_map",
+    "status_map_for_catalog",
+    "SiteStatusCatalog",
+    "TransferEntry",
+    "TransferLedger",
+    "make_tags",
+    "probe_site",
+]

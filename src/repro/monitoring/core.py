@@ -1,0 +1,147 @@
+"""The monitoring framework skeleton of Figure 1.
+
+"Producers provide monitored information, consumers use this
+information, and intermediaries have both roles, sometimes providing
+aggregation or filtering functions."  Concrete tools (Ganglia, MonALISA,
+ACDC, the Site Status Catalog) are built from these pieces:
+
+* a :class:`MetricSample` is one observation;
+* a :class:`MetricStore` is the queryable sample sink;
+* :class:`PeriodicProducer` is the common "sample every N seconds"
+  process shape.
+
+The deliberate redundancy the paper defends ("permitting crosschecks on
+the data collected", §5.2) shows up as several producers observing the
+same underlying state through different paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One observation: (time, metric name, tags, value)."""
+
+    time: float
+    name: str
+    value: float
+    #: Sorted (key, value) pairs — hashable, e.g. (("site","BNL"),).
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def tag(self, key: str) -> Optional[str]:
+        """Look up one tag value."""
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return None
+
+
+def make_tags(**kwargs: str) -> Tuple[Tuple[str, str], ...]:
+    """Build a canonical (sorted) tag tuple."""
+    return tuple(sorted((k, str(v)) for k, v in kwargs.items()))
+
+
+class MetricStore:
+    """An in-memory, queryable sample sink (per-metric series).
+
+    ``max_samples`` bounds each metric's retained history (ring
+    semantics) — site-local stores in long runs must not grow without
+    bound.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None) -> None:
+        self._samples: Dict[str, "deque"] = {}
+        self.max_samples = max_samples
+
+    def append(self, sample: MetricSample) -> None:
+        """Record one sample."""
+        series = self._samples.get(sample.name)
+        if series is None:
+            from collections import deque
+            series = deque(maxlen=self.max_samples)
+            self._samples[sample.name] = series
+        series.append(sample)
+
+    def extend(self, samples: Iterable[MetricSample]) -> None:
+        for sample in samples:
+            self.append(sample)
+
+    def names(self) -> List[str]:
+        """All metric names seen."""
+        return sorted(self._samples)
+
+    def query(
+        self,
+        name: str,
+        since: float = -float("inf"),
+        until: float = float("inf"),
+        **tag_filter: str,
+    ) -> List[MetricSample]:
+        """Samples of ``name`` in [since, until] matching every tag."""
+        out = []
+        for sample in self._samples.get(name, ()):
+            if not since <= sample.time <= until:
+                continue
+            if all(sample.tag(k) == str(v) for k, v in tag_filter.items()):
+                out.append(sample)
+        return out
+
+    def latest(self, name: str, **tag_filter: str) -> Optional[MetricSample]:
+        """The newest matching sample, or None (reverse scan, early exit)."""
+        for sample in reversed(self._samples.get(name, ())):
+            if all(sample.tag(k) == str(v) for k, v in tag_filter.items()):
+                return sample
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._samples.values())
+
+
+class PeriodicProducer:
+    """A process that calls ``collect()`` every ``interval`` seconds.
+
+    ``collect`` returns an iterable of samples which are delivered to
+    every attached sink.  Collection exceptions mark the producer
+    degraded but do not kill the loop (a monitoring component must not
+    take the grid down with it).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        interval: float,
+        collect: Callable[[], Iterable[MetricSample]],
+        sinks: Optional[List[MetricStore]] = None,
+        enabled: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.name = name
+        self.interval = interval
+        self.collect = collect
+        self.sinks: List[MetricStore] = sinks or []
+        self.enabled = enabled
+        self.collections = 0
+        self.errors = 0
+        self.process = engine.process(self._run(), name=f"producer-{name}")
+
+    def _run(self):
+        while True:
+            yield self.engine.timeout(self.interval)
+            if not self.enabled:
+                continue
+            try:
+                samples = list(self.collect())
+            except Exception:  # noqa: BLE001 - monitoring must survive
+                self.errors += 1
+                continue
+            self.collections += 1
+            for sink in self.sinks:
+                sink.extend(samples)

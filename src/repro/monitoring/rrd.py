@@ -1,0 +1,97 @@
+"""A round-robin time-series database.
+
+§5.2: "The MonALISA central repository collects its information in a
+central server at the iGOC, storing it in a round robin-like database."
+Fixed-width bins, a fixed retention ring, and a consolidation function —
+old data ages out instead of growing without bound, exactly the
+trade-off the real repository made.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, List, Optional, Tuple
+
+_CONSOLIDATORS = {
+    "avg": lambda values: sum(values) / len(values),
+    "max": max,
+    "min": min,
+    "sum": sum,
+    "last": lambda values: values[-1],
+}
+
+
+class RoundRobinDatabase:
+    """Fixed-capacity binned time series."""
+
+    def __init__(self, bin_width: float, capacity: int, consolidation: str = "avg") -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if consolidation not in _CONSOLIDATORS:
+            raise ValueError(f"unknown consolidation {consolidation!r}")
+        self.bin_width = bin_width
+        self.capacity = capacity
+        self.consolidation = consolidation
+        self._fn: Callable = _CONSOLIDATORS[consolidation]
+        #: ring entries: (bin_index, [raw values]) — kept sorted by bin.
+        self._bins: List[Tuple[int, List[float]]] = []
+        self.samples_seen = 0
+        self.samples_dropped = 0
+
+    def update(self, time: float, value: float) -> None:
+        """Add an observation.  Out-of-retention (too old) samples are
+        dropped and counted, never retro-inserted."""
+        self.samples_seen += 1
+        idx = int(time // self.bin_width)
+        if self._bins and idx < self._bins[0][0]:
+            self.samples_dropped += 1
+            return
+        if self._bins:
+            last_idx, last_values = self._bins[-1]
+            if last_idx == idx:
+                last_values.append(value)
+                return
+            if last_idx < idx:
+                self._bins.append((idx, [value]))
+            else:
+                # Rare out-of-order arrival into an older retained bin.
+                for bin_idx, values in reversed(self._bins):
+                    if bin_idx == idx:
+                        values.append(value)
+                        return
+                # idx differs from every retained bin here, so tuple
+                # comparison never reaches the list element.
+                bisect.insort(self._bins, (idx, [value]))
+        else:
+            self._bins.append((idx, [value]))
+        while len(self._bins) > self.capacity:
+            self._bins.pop(0)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """Retained (bin start time, consolidated value) pairs."""
+        return [
+            (idx * self.bin_width, self._fn(values))
+            for idx, values in self._bins
+            if values
+        ]
+
+    def value_at(self, time: float) -> Optional[float]:
+        """Consolidated value of the bin containing ``time`` (None if
+        absent/aged out)."""
+        idx = int(time // self.bin_width)
+        for bin_idx, values in self._bins:
+            if bin_idx == idx and values:
+                return self._fn(values)
+        return None
+
+    @property
+    def span(self) -> float:
+        """Seconds of history currently retained."""
+        if not self._bins:
+            return 0.0
+        return (self._bins[-1][0] - self._bins[0][0] + 1) * self.bin_width
+
+    def __len__(self) -> int:
+        return len(self._bins)

@@ -1,0 +1,116 @@
+"""The Site Status Catalog's map page (§5.2).
+
+"A web interfaces provides a list of all Grid3 sites, their location on
+a map, their status, and other important information."
+
+:data:`SITE_LOCATIONS` carries approximate coordinates for the 27
+catalog sites (public institutional locations); :func:`render_status_map`
+draws the continental-US view as ASCII with per-site status glyphs —
+the terminal stand-in for the catalog's web map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Approximate (latitude, longitude) per catalog site.
+SITE_LOCATIONS: Dict[str, Tuple[float, float]] = {
+    "BNL_ATLAS": (40.87, -72.87),
+    "FNAL_CMS": (41.83, -88.26),
+    "CalTech_PG": (34.14, -118.13),
+    "CalTech_Grid3": (34.14, -118.12),
+    "UFL_Grid3": (29.65, -82.34),
+    "IU_Grid3": (39.77, -86.16),
+    "UCSD_PG": (32.88, -117.23),
+    "UC_Grid3": (41.79, -87.60),
+    "Vanderbilt_BTeV": (36.14, -86.80),
+    "ANL_HEP": (41.71, -87.98),
+    "ANL_MCS": (41.71, -87.99),
+    "BU_ATLAS": (42.35, -71.10),
+    "UFL_HPC": (29.64, -82.35),
+    "Hampton_HU": (37.02, -76.33),
+    "Harvard_ATLAS": (42.37, -71.12),
+    "IU_ATLAS": (39.17, -86.52),
+    "JHU_SDSS": (39.33, -76.62),
+    "KNU_Grid3": (35.89, 128.61),     # Kyungpook, Korea (off-map east)
+    "LBNL_PDSF": (37.88, -122.25),
+    "UB_ACDC": (43.00, -78.79),
+    "UC_ATLAS": (41.79, -87.61),
+    "UM_ATLAS": (42.28, -83.74),
+    "UNM_HPC": (35.08, -106.62),
+    "OU_HEP": (35.21, -97.44),
+    "UTA_DPCC": (32.73, -97.11),
+    "UWMadison_CS": (43.07, -89.40),
+    "UWM_LIGO": (43.08, -87.88),
+}
+
+#: Status glyphs on the map.
+GLYPHS = {"PASS": "o", "FAIL": "X", "UNKNOWN": "?"}
+
+#: Continental-US viewport (lat, lon) bounds.
+_LAT_RANGE = (24.0, 50.0)
+_LON_RANGE = (-125.0, -66.0)
+
+
+def project(
+    lat: float,
+    lon: float,
+    width: int,
+    height: int,
+) -> Optional[Tuple[int, int]]:
+    """Map (lat, lon) to (row, col), or None when outside the viewport."""
+    lat_lo, lat_hi = _LAT_RANGE
+    lon_lo, lon_hi = _LON_RANGE
+    if not (lat_lo <= lat <= lat_hi and lon_lo <= lon <= lon_hi):
+        return None
+    col = int((lon - lon_lo) / (lon_hi - lon_lo) * (width - 1))
+    row = int((lat_hi - lat) / (lat_hi - lat_lo) * (height - 1))
+    return row, col
+
+
+def render_status_map(
+    statuses: Dict[str, str],
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """The §5.2 map page: one glyph per site on a US grid, plus a legend
+    of off-map sites and a key.
+
+    ``statuses`` maps site name -> "PASS"|"FAIL"|"UNKNOWN" (e.g. from
+    :meth:`SiteStatusCatalog.status_page`).
+    """
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    off_map: List[str] = []
+    collisions: Dict[Tuple[int, int], int] = {}
+    for site, status in sorted(statuses.items()):
+        location = SITE_LOCATIONS.get(site)
+        glyph = GLYPHS.get(status, "?")
+        if location is None:
+            off_map.append(f"{site} (no coordinates): {status}")
+            continue
+        pos = project(*location, width=width, height=height)
+        if pos is None:
+            off_map.append(f"{site} (off-map): {status}")
+            continue
+        row, col = pos
+        count = collisions.get(pos, 0)
+        if count and grid[row][col] != glyph:
+            # A FAIL at a shared pixel must stay visible.
+            if glyph == "X":
+                grid[row][col] = "X"
+        else:
+            grid[row][col] = glyph
+        collisions[pos] = count + 1
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append("key: o=PASS  X=FAIL  ?=UNKNOWN")
+    lines.extend(off_map)
+    return "\n".join(lines)
+
+
+def status_map_for_catalog(status_page: Iterable[Tuple[str, str, tuple]]) -> str:
+    """Convenience: render straight from
+    :meth:`SiteStatusCatalog.status_page` output rows."""
+    return render_status_map({site: status for site, status, _p in status_page})

@@ -1,0 +1,58 @@
+"""Operations: the iGOC, trouble tickets, policies, and §7 milestones."""
+
+from .autovalidate import AutoValidator, ValidationReport
+from .igoc import IGOC, OperationsTeam
+from .metrics import (
+    DIRECTION,
+    PAPER_ACTUALS,
+    PAPER_TARGETS,
+    Milestone,
+    MilestonesTracker,
+)
+from .reports import (
+    failure_hotspots,
+    production_summary,
+    ticket_summary,
+    weekly_report,
+)
+from .policy import (
+    AcceptableUsePolicy,
+    PolicyViolation,
+    SitePolicy,
+    audit_policy,
+    policy_for_site,
+)
+from .tickets import RESPONSIBILITY_MATRIX, Ticket, TroubleTicketSystem, responsible_party
+from .troubleshooting import (
+    JobLink,
+    JobLinkIndex,
+    TroubleshootingAPI,
+)
+
+__all__ = [
+    "AcceptableUsePolicy",
+    "AutoValidator",
+    "JobLink",
+    "JobLinkIndex",
+    "TroubleshootingAPI",
+    "ValidationReport",
+    "DIRECTION",
+    "IGOC",
+    "Milestone",
+    "MilestonesTracker",
+    "OperationsTeam",
+    "PAPER_ACTUALS",
+    "PAPER_TARGETS",
+    "PolicyViolation",
+    "SitePolicy",
+    "RESPONSIBILITY_MATRIX",
+    "Ticket",
+    "responsible_party",
+    "TroubleTicketSystem",
+    "audit_policy",
+    "failure_hotspots",
+    "production_summary",
+    "ticket_summary",
+    "weekly_report",
+    "policy_for_site",
+]

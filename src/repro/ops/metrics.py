@@ -1,0 +1,143 @@
+"""The §7 milestones-and-metrics tracker.
+
+"At the outset of Grid2003, we defined milestones for use in tracking
+progress and evaluating success."  Each :class:`Milestone` pairs the
+paper's target with the value achieved by a simulation run; the module
+reproduces the §7 bullet list as a table.
+
+Paper targets and reported actuals (for reference in tests/benches):
+
+  ==============================  ========  ===================
+  metric                           target    paper actual
+  ==============================  ========  ===================
+  number of CPUs                   400       2163 (peak 2800)
+  number of users                  10        102
+  number of applications           >4        10
+  concurrent-application sites     >10       17
+  data transferred per day         2-3 TB    4 TB
+  percentage of resources used     90 %      40-70 %
+  efficiency of job completion     75 %      varies; >90 % at
+                                             well-run sites
+  peak concurrent jobs             1000      1300
+  operations support load          <2 FTE    <2 FTE sustained
+  ==============================  ========  ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: The §7 targets, machine-readable.
+PAPER_TARGETS: Dict[str, float] = {
+    "cpus": 400,
+    "users": 10,
+    "applications": 4,          # target "> 4"
+    "concurrent_app_sites": 10,  # target "> 10"
+    "data_tb_per_day": 2.0,
+    "resource_utilisation": 0.90,
+    "job_efficiency": 0.75,
+    "peak_concurrent_jobs": 1000,
+    "support_fte": 2.0,          # target "< 2"
+}
+
+#: The actuals the paper reports, for shape comparison.
+PAPER_ACTUALS: Dict[str, float] = {
+    "cpus": 2163,
+    "users": 102,
+    "applications": 10,
+    "concurrent_app_sites": 17,
+    "data_tb_per_day": 4.0,
+    "resource_utilisation": 0.55,   # mid of the 40-70 % band
+    "job_efficiency": 0.70,         # "varies"; CMS/ATLAS ~70 %
+    "peak_concurrent_jobs": 1300,
+    "support_fte": 2.0,
+}
+
+#: Whether bigger is better ("+") or smaller ("-") per metric.
+DIRECTION: Dict[str, str] = {
+    "cpus": "+", "users": "+", "applications": "+",
+    "concurrent_app_sites": "+", "data_tb_per_day": "+",
+    "resource_utilisation": "+", "job_efficiency": "+",
+    "peak_concurrent_jobs": "+", "support_fte": "-",
+}
+
+
+@dataclass(frozen=True)
+class Milestone:
+    """One row of the milestones table."""
+
+    key: str
+    description: str
+    target: float
+    achieved: float
+    unit: str = ""
+
+    @property
+    def met(self) -> bool:
+        """Whether the achieved value satisfies the target."""
+        if DIRECTION.get(self.key, "+") == "+":
+            return self.achieved >= self.target
+        return self.achieved <= self.target
+
+    @property
+    def paper_actual(self) -> Optional[float]:
+        return PAPER_ACTUALS.get(self.key)
+
+
+class MilestonesTracker:
+    """Collects achieved values and renders the §7 comparison table."""
+
+    DESCRIPTIONS = {
+        "cpus": "Number of CPUs",
+        "users": "Number of users",
+        "applications": "Number of applications",
+        "concurrent_app_sites": "Sites running concurrent applications",
+        "data_tb_per_day": "Data transferred per day (TB)",
+        "resource_utilisation": "Percentage of resources used",
+        "job_efficiency": "Efficiency of job completion",
+        "peak_concurrent_jobs": "Peak number of concurrent jobs",
+        "support_fte": "Operations support load (FTE)",
+    }
+
+    def __init__(self) -> None:
+        self._achieved: Dict[str, float] = {}
+
+    def record(self, key: str, value: float) -> None:
+        """Set the achieved value for a metric."""
+        if key not in PAPER_TARGETS:
+            raise KeyError(f"unknown milestone {key!r}")
+        self._achieved[key] = float(value)
+
+    def milestone(self, key: str) -> Milestone:
+        return Milestone(
+            key=key,
+            description=self.DESCRIPTIONS[key],
+            target=PAPER_TARGETS[key],
+            achieved=self._achieved.get(key, 0.0),
+        )
+
+    def milestones(self) -> List[Milestone]:
+        """All rows, in the paper's §7 order."""
+        return [self.milestone(key) for key in self.DESCRIPTIONS]
+
+    def met_count(self) -> int:
+        """How many §7 targets the run met ('met and even surpassed
+        most of these milestones')."""
+        return sum(1 for m in self.milestones() if m.met and m.key in self._achieved)
+
+    def render(self) -> str:
+        """The §7 comparison table as text."""
+        lines = [
+            f"{'milestone':<42} {'target':>10} {'achieved':>10} "
+            f"{'paper':>10} {'met':>5}",
+            "-" * 82,
+        ]
+        for m in self.milestones():
+            paper = m.paper_actual
+            lines.append(
+                f"{m.description:<42} {m.target:>10.2f} {m.achieved:>10.2f} "
+                f"{(paper if paper is not None else float('nan')):>10.2f} "
+                f"{'yes' if m.met else 'NO':>5}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Operations reporting: the iGOC's periodic summary.
+
+The operations centre's job (§5.4) was "information gathering and
+dissemination for all aspects of the project".  This module renders the
+weekly operations report a Grid3 shift would have produced: grid health,
+per-VO production, failure hot-spots, ticket flow, and milestone
+posture — all computed from the monitoring stack, no log spelunking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import render_table
+from ..monitoring.acdc import ACDCDatabase
+from ..sim.units import DAY, HOUR, bytes_to_tb
+from .tickets import TroubleTicketSystem
+
+
+def production_summary(
+    db: ACDCDatabase, since: float, until: float
+) -> List[Tuple[str, int, float, float]]:
+    """(vo, jobs, success_rate, cpu_days) rows for the window."""
+    rows = []
+    for vo in db.vos():
+        records = db.records(vo=vo, since=since, until=until)
+        if not records:
+            continue
+        rows.append((
+            vo,
+            len(records),
+            sum(r.succeeded for r in records) / len(records),
+            sum(r.runtime for r in records) / (24 * HOUR),
+        ))
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
+def failure_hotspots(
+    db: ACDCDatabase, since: float, until: float, min_jobs: int = 5
+) -> List[Tuple[str, int, float, str]]:
+    """(site, jobs, failure_rate, dominant_failure) for struggling sites."""
+    by_site: Dict[str, List] = {}
+    for record in db.records(since=since, until=until):
+        by_site.setdefault(record.site, []).append(record)
+    rows = []
+    for site, records in by_site.items():
+        if len(records) < min_jobs:
+            continue
+        failures = [r for r in records if not r.succeeded]
+        rate = len(failures) / len(records)
+        if rate <= 0.05:
+            continue
+        kinds: Dict[str, int] = {}
+        for r in failures:
+            kinds[r.failure_type] = kinds.get(r.failure_type, 0) + 1
+        dominant = max(kinds, key=kinds.get) if kinds else ""
+        rows.append((site, len(records), rate, dominant))
+    rows.sort(key=lambda r: -r[2])
+    return rows
+
+
+def ticket_summary(tickets: TroubleTicketSystem, since: float, until: float) -> Dict[str, float]:
+    """Ticket flow statistics for the window."""
+    opened = [
+        t for t in tickets._tickets.values() if since <= t.opened_at <= until
+    ]
+    resolved = [t for t in opened if not t.open]
+    return {
+        "opened": len(opened),
+        "resolved": len(resolved),
+        "still_open": len(opened) - len(resolved),
+        "mean_hours_to_resolve": (
+            sum(t.time_to_resolve for t in resolved) / len(resolved) / HOUR
+            if resolved else 0.0
+        ),
+        "effort_hours": sum(t.effort_hours for t in opened),
+    }
+
+
+def weekly_report(grid, week_index: int = 0) -> str:
+    """The full weekly report for a built-and-run Grid3.
+
+    ``week_index`` 0 is the first simulated week; the last (possibly
+    partial) week is ``week_index=-1`` style negative indexing via the
+    caller clamping — here indices beyond the run clamp to the run end.
+    """
+    t0 = week_index * 7 * DAY
+    t1 = min(grid.engine.now, t0 + 7 * DAY)
+    if t1 <= t0:
+        t0 = max(0.0, grid.engine.now - 7 * DAY)
+        t1 = grid.engine.now
+    cal = grid.calendar
+    db = grid.acdc_db
+    lines = [
+        "=" * 70,
+        f"Grid3 Operations Report — week of {cal.datetime_of(t0).date()}",
+        "=" * 70,
+    ]
+
+    # Grid health.
+    status = grid.monitors["status"].status_page()
+    passing = sum(1 for _s, st, _p in status if st == "PASS")
+    lines.append(f"\nSite health: {passing}/{len(status)} passing verification")
+    failing = [(s, p) for s, st, p in status if st == "FAIL"]
+    for site, problems in failing[:5]:
+        lines.append(f"  FAIL {site}: {'; '.join(problems)}")
+
+    # Production.
+    rows = production_summary(db, t0, t1)
+    lines.append("\nProduction by VO (this week):")
+    if rows:
+        lines.append(render_table(
+            ["vo", "jobs", "success", "cpu-days"],
+            [(vo, jobs, f"{rate:.0%}", round(cpu, 1)) for vo, jobs, rate, cpu in rows],
+        ))
+    else:
+        lines.append("  (no completed jobs)")
+
+    # Data movement.
+    moved = grid.ledger.total_bytes(since=t0, until=t1)
+    lines.append(f"\nData moved: {bytes_to_tb(moved):.2f} TB "
+                 f"({bytes_to_tb(moved) / max((t1 - t0) / DAY, 1e-9):.2f} TB/day)")
+
+    # Hotspots.
+    hotspots = failure_hotspots(db, t0, t1)
+    lines.append("\nFailure hotspots:")
+    if hotspots:
+        lines.append(render_table(
+            ["site", "jobs", "failure rate", "dominant cause"],
+            [(s, n, f"{r:.0%}", d) for s, n, r, d in hotspots[:6]],
+        ))
+    else:
+        lines.append("  (none above threshold)")
+
+    # Tickets.
+    tix = ticket_summary(grid.igoc.tickets, t0, t1)
+    lines.append(
+        f"\nTickets: {tix['opened']} opened, {tix['resolved']} resolved, "
+        f"{tix['still_open']} open; mean resolution "
+        f"{tix['mean_hours_to_resolve']:.1f} h; "
+        f"effort {tix['effort_hours']:.1f} person-hours"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""The iGOC trouble-ticket system (§5.4).
+
+"A simple trouble ticket system was used intermittently during the
+project."  Tickets are opened (by operators or by the automated
+site-status watcher), accumulate effort, and are resolved; the system's
+aggregate statistics feed the §7 "operations support load" milestone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.engine import Engine
+from ..sim.units import HOUR
+
+#: §5.4 support factorisation: "Site administrators provide for the
+#: operation and support of their sites.  The VO central support
+#: organizations provide the organization and effort for the support and
+#: maintenance of their applications and virtual facilities."  Central
+#: services belong to the iGOC.  §8 asks for this factorisation to be
+#: made explicit "perhaps at the service level" — this matrix is that.
+RESPONSIBILITY_MATRIX = {
+    # site fabric and site services -> the site administrator
+    "StorageFullError": "site-admin",
+    "GatekeeperOverloadError": "site-admin",
+    "NodeFailureError": "site-admin",
+    "SiteMisconfigurationError": "site-admin",
+    "ServiceFailureError": "site-admin",
+    "ServiceUnavailableError": "site-admin",
+    "WalltimeExceededError": "site-admin",
+    "NetworkInterruptionError": "site-admin",
+    # the application itself -> the VO support organisation
+    "ApplicationError": "vo-support",
+    "SubmissionError": "vo-support",
+    # shared/central infrastructure -> the operations centre
+    "ReplicaNotFoundError": "igoc",
+    "AuthenticationError": "igoc",
+    "AuthorizationError": "igoc",
+    "TransferError": "igoc",
+    "PackagingError": "igoc",
+    "ReservationError": "igoc",
+}
+
+
+def responsible_party(failure_type: str) -> str:
+    """Which support organisation owns a failure class (§5.4/§8).
+
+    Unknown classes land at the iGOC, which triages.
+    """
+    return RESPONSIBILITY_MATRIX.get(failure_type, "igoc")
+
+
+@dataclass
+class Ticket:
+    """One trouble ticket."""
+
+    ticket_id: int
+    opened_at: float
+    site: str
+    description: str
+    severity: str = "normal"      # "low" | "normal" | "critical"
+    state: str = "open"           # "open" | "assigned" | "resolved"
+    assignee: str = ""
+    resolved_at: float = -1.0
+    #: Person-hours logged against the ticket.
+    effort_hours: float = 0.0
+
+    @property
+    def open(self) -> bool:
+        return self.state != "resolved"
+
+    @property
+    def time_to_resolve(self) -> float:
+        """Seconds open (−1 while unresolved)."""
+        if self.resolved_at < 0:
+            return -1.0
+        return self.resolved_at - self.opened_at
+
+
+class TroubleTicketSystem:
+    """Ticket CRUD plus the aggregate operations metrics."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._tickets: Dict[int, Ticket] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def open_ticket(self, site: str, description: str, severity: str = "normal",
+                    failure_type: str = "") -> Ticket:
+        """File a new ticket.  With ``failure_type`` given, the ticket is
+        auto-routed to the responsible support organisation (§5.4)."""
+        ticket = Ticket(
+            ticket_id=next(self._ids),
+            opened_at=self.engine.now,
+            site=site,
+            description=description,
+            severity=severity,
+        )
+        if failure_type:
+            ticket.state = "assigned"
+            ticket.assignee = responsible_party(failure_type)
+        self._tickets[ticket.ticket_id] = ticket
+        return ticket
+
+    def assign(self, ticket_id: int, assignee: str) -> None:
+        ticket = self._tickets[ticket_id]
+        if ticket.state == "resolved":
+            raise ValueError(f"ticket {ticket_id} already resolved")
+        ticket.state = "assigned"
+        ticket.assignee = assignee
+
+    def log_effort(self, ticket_id: int, hours: float) -> None:
+        """Record person-hours spent on a ticket."""
+        if hours < 0:
+            raise ValueError("effort cannot be negative")
+        self._tickets[ticket_id].effort_hours += hours
+
+    def resolve(self, ticket_id: int) -> None:
+        ticket = self._tickets[ticket_id]
+        ticket.state = "resolved"
+        ticket.resolved_at = self.engine.now
+
+    # -- queries ----------------------------------------------------------
+    def ticket(self, ticket_id: int) -> Ticket:
+        return self._tickets[ticket_id]
+
+    def open_tickets(self, site: Optional[str] = None) -> List[Ticket]:
+        return [
+            t for t in self._tickets.values()
+            if t.open and (site is None or t.site == site)
+        ]
+
+    def open_ticket_for_site(self, site: str) -> Optional[Ticket]:
+        """The oldest open ticket for a site, if any (dedup helper)."""
+        candidates = self.open_tickets(site)
+        return min(candidates, key=lambda t: t.opened_at) if candidates else None
+
+    def mean_time_to_resolve(self) -> float:
+        """Average resolution latency over resolved tickets (0 if none)."""
+        resolved = [t for t in self._tickets.values() if not t.open]
+        if not resolved:
+            return 0.0
+        return sum(t.time_to_resolve for t in resolved) / len(resolved)
+
+    def total_effort_hours(self, since: float = -float("inf"), until: float = float("inf")) -> float:
+        """Person-hours logged on tickets opened in the window."""
+        return sum(
+            t.effort_hours
+            for t in self._tickets.values()
+            if since <= t.opened_at <= until
+        )
+
+    def support_fte(self, t0: float, t1: float, hours_per_fte_week: float = 40.0) -> float:
+        """Average FTEs implied by logged effort over [t0, t1] — the §7
+        'operations support load' metric (target < 2 FTEs)."""
+        if t1 <= t0:
+            return 0.0
+        weeks = (t1 - t0) / (7 * 24 * HOUR)
+        if weeks <= 0:
+            return 0.0
+        return self.total_effort_hours(t0, t1) / (hours_per_fte_week * weeks)

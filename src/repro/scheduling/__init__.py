@@ -1,0 +1,32 @@
+"""Scheduling: local batch systems, Condor-G/DAGMan, site selection."""
+
+from .batch import BatchScheduler, default_runner
+from .condorg import CondorG, GridJobHandle
+from .dagman import DAGMan, DagmanRun
+from .flavors import (
+    FLAVOURS,
+    CondorScheduler,
+    LSFScheduler,
+    PBSScheduler,
+    make_scheduler,
+)
+from .localload import LocalLoadGenerator, add_local_load
+from .matchmaking import RandomSelector, SiteSelector
+
+__all__ = [
+    "BatchScheduler",
+    "CondorG",
+    "CondorScheduler",
+    "DAGMan",
+    "DagmanRun",
+    "FLAVOURS",
+    "GridJobHandle",
+    "LSFScheduler",
+    "LocalLoadGenerator",
+    "PBSScheduler",
+    "RandomSelector",
+    "SiteSelector",
+    "add_local_load",
+    "default_runner",
+    "make_scheduler",
+]

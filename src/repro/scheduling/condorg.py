@@ -1,0 +1,165 @@
+"""Condor-G: the grid-level submission agent (§4.2, §4.7).
+
+"CMS Production jobs are specified by reading input parameters from a
+control database and converting them to DAGs suitable for submission to
+Condor-G/DAGMan."  Condor-G holds a queue of grid jobs on the submit
+host, throttles concurrent jobs per remote site, performs the GRAM
+submission (with retry/backoff over transient gatekeeper errors), and
+tracks each job to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.job import Job, JobSpec, JobState
+from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
+    GatekeeperOverloadError,
+    GridError,
+    ServiceUnavailableError,
+    SubmissionError,
+)
+from ..sim.engine import Engine, Event
+from ..sim.resources import Resource
+from ..sim.units import MINUTE
+
+
+class GridJobHandle:
+    """Client-side handle for one logical grid job.
+
+    ``done`` fires (always successfully) with the final :class:`Job`
+    record — inspect ``job.state`` for the outcome.  A handle that never
+    found a site carries a synthetic FAILED job.
+    """
+
+    def __init__(self, engine: Engine, spec: JobSpec) -> None:
+        self.spec = spec
+        self.done: Event = engine.event()
+        self.attempts = 0
+        self.job: Optional[Job] = None
+        self.sites_tried: List[str] = []
+
+    @property
+    def succeeded(self) -> bool:
+        return self.job is not None and self.job.succeeded
+
+
+class CondorG:
+    """A VO's submit host."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        sites: Dict[str, object],
+        proxy_provider: Callable[[str], object],
+        selector=None,
+        max_retries: int = 2,
+        per_site_throttle: int = 100,
+        retry_delay: float = 5 * MINUTE,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.sites = sites
+        self.proxy_provider = proxy_provider
+        #: Optional SiteSelector; when set, submissions without an
+        #: explicit site are matched, and retries move to other sites.
+        self.selector = selector
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self._throttles: Dict[str, Resource] = {
+            name: Resource(engine, per_site_throttle) for name in sites
+        }
+        #: Counters (the troubleshooting/accounting APIs of §8).
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.resubmissions = 0
+        self.unmatched = 0
+
+    def submit(self, spec: JobSpec, site_name: Optional[str] = None) -> GridJobHandle:
+        """Queue a grid job; returns its handle immediately."""
+        handle = GridJobHandle(self.engine, spec)
+        self.engine.process(self._manage(handle, site_name), name=f"condorg-{spec.name}")
+        self.submitted += 1
+        return handle
+
+    def submit_many(self, specs: Sequence[JobSpec], site_name: Optional[str] = None) -> List[GridJobHandle]:
+        """Queue a batch of jobs."""
+        return [self.submit(spec, site_name) for spec in specs]
+
+    # -- internals ----------------------------------------------------------
+    def _pick_site(self, spec: JobSpec, pinned: Optional[str], tried: List[str]) -> Optional[str]:
+        if pinned is not None:
+            return pinned if pinned not in tried else None
+        if self.selector is not None:
+            return self.selector.select(spec, exclude=tried)
+        remaining = [name for name in self.sites if name not in tried]
+        return remaining[0] if remaining else None
+
+    def _manage(self, handle: GridJobHandle, pinned: Optional[str]):
+        spec = handle.spec
+        last_job: Optional[Job] = None
+        while handle.attempts <= self.max_retries:
+            site_name = self._pick_site(spec, pinned, handle.sites_tried)
+            if site_name is None:
+                break
+            handle.attempts += 1
+            handle.sites_tried.append(site_name)
+            site = self.sites[site_name]
+            throttle = self._throttles[site_name]
+            slot = throttle.request()
+            yield slot
+            try:
+                job = yield from self._submit_with_backoff(site, spec)
+            except GridError:
+                throttle.release(slot)
+                # Site unusable right now: try another (or give up).
+                if handle.attempts <= self.max_retries:
+                    self.resubmissions += 1
+                continue
+            job.attempt = handle.attempts
+            if self.selector is not None:
+                self.selector.record_use(spec.vo, spec.user, site_name)
+            final = yield job.completion
+            throttle.release(slot)
+            gatekeeper = site.service("gatekeeper")
+            gatekeeper.job_finished(final)
+            last_job = final
+            if final.succeeded:
+                break
+            if handle.attempts <= self.max_retries:
+                self.resubmissions += 1
+        if last_job is None:
+            # Never even got accepted anywhere.
+            self.unmatched += 1
+            last_job = Job(spec=spec)
+            last_job.error = SubmissionError("no usable site found")
+            last_job.mark(JobState.FAILED, self.engine.now)
+        handle.job = last_job
+        if last_job.succeeded:
+            self.completed += 1
+        else:
+            self.failed += 1
+        handle.done.succeed(last_job)
+
+    def _submit_with_backoff(self, site, spec: JobSpec):
+        """One GRAM submission, retrying transient errors with backoff.
+
+        Overload and service-down errors are transient (retried in
+        place); authentication/authorization and policy rejections are
+        permanent for this site and propagate.
+        """
+        delay = self.retry_delay
+        for _ in range(3):
+            gatekeeper = site.service("gatekeeper")
+            proxy = self.proxy_provider(spec.user)
+            try:
+                return gatekeeper.submit(proxy, spec)
+            except (GatekeeperOverloadError, ServiceUnavailableError):
+                yield self.engine.timeout(delay)
+                delay *= 2
+        # Still failing: bubble the transient error up as site-unusable.
+        raise ServiceUnavailableError(f"{site.name}: submission kept failing")

@@ -1,0 +1,93 @@
+"""DAGMan: dependency-ordered execution of workflow DAGs over Condor-G.
+
+"CMS Production jobs are ... converting them to DAGs suitable for
+submission to Condor-G/DAGMan" (§4.2); ATLAS and SDSS workflows are
+Chimera/Pegasus DAGs run the same way (§4.1, §4.3).  The model submits
+READY nodes (up to a submit throttle), retries failed nodes, marks
+descendants of exhausted nodes unreachable, and reports a rescue DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import AnyOf, Engine
+from ..workflow.dag import DAG, DagNode, NodeState
+from .condorg import CondorG, GridJobHandle
+
+
+class DagmanRun:
+    """Outcome record for one DAG execution."""
+
+    def __init__(self, dag: DAG) -> None:
+        self.dag = dag
+        self.jobs: List = []          # final Job records, all attempts
+        self.nodes_done = 0
+        self.nodes_failed = 0
+        self.nodes_unreachable = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.dag.succeeded
+
+    def rescue_dag(self) -> DAG:
+        """The un-done remainder, resubmittable later."""
+        return self.dag.rescue_dag()
+
+
+class DAGMan:
+    """Executes DAGs through a Condor-G submit host."""
+
+    def __init__(self, engine: Engine, condorg: CondorG, max_idle: int = 50) -> None:
+        self.engine = engine
+        self.condorg = condorg
+        #: Throttle on simultaneously submitted (not yet finished) nodes,
+        #: DAGMan's -maxidle/-maxjobs knob.
+        self.max_idle = max_idle
+
+    def run(self, dag: DAG):
+        """Generator process: execute ``dag`` to quiescence.
+
+        Returns a :class:`DagmanRun`.  Compose with ``yield from`` or
+        wrap in ``engine.process``.
+        """
+        result = DagmanRun(dag)
+        #: node_id -> in-flight handle
+        in_flight: Dict[str, GridJobHandle] = {}
+
+        while True:
+            # Submit every READY node within the idle throttle.
+            for node in dag.refresh_ready():
+                if len(in_flight) >= self.max_idle:
+                    break
+                node.state = NodeState.SUBMITTED
+                node.attempts_used += 1
+                handle = self.condorg.submit(node.spec, node.pin_site)
+                in_flight[node.node_id] = handle
+            if not in_flight:
+                break
+            # Wait for any in-flight node to finish.
+            yield AnyOf(self.engine, [h.done for h in in_flight.values()])
+            finished = [
+                (node_id, handle)
+                for node_id, handle in in_flight.items()
+                if handle.done.triggered
+            ]
+            for node_id, handle in finished:
+                del in_flight[node_id]
+                node = dag.node(node_id)
+                if handle.job is not None:
+                    result.jobs.append(handle.job)
+                if handle.succeeded:
+                    node.state = NodeState.DONE
+                    result.nodes_done += 1
+                elif node.attempts_used <= node.retries:
+                    # DAGMan retry: back to READY for another round.
+                    node.state = NodeState.READY
+                else:
+                    node.state = NodeState.FAILED
+                    result.nodes_failed += 1
+                    result.nodes_unreachable += len(
+                        dag.mark_unreachable_descendants(node_id)
+                    )
+        return result

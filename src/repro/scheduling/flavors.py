@@ -1,0 +1,126 @@
+"""The three Grid3 batch flavours: OpenPBS, Condor, LSF (§5).
+
+Each flavour is the common :class:`~repro.scheduling.batch.BatchScheduler`
+machinery with its characteristic *ordering policy*:
+
+* **PBS** — FIFO with an optional per-job priority attribute (qsub -p).
+* **Condor** — fair-share: users who have consumed less recent CPU go
+  first (a decayed-usage model of Condor's effective user priority).
+* **LSF** — class-based queues: short jobs (by requested walltime) are
+  served from a higher-priority queue than long ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.job import Job
+from ..sim.engine import Engine
+from ..sim.units import HOUR
+from .batch import BatchScheduler
+
+
+class PBSScheduler(BatchScheduler):
+    """OpenPBS: FIFO within priority levels."""
+
+    flavour = "pbs"
+
+    #: Priority attribute name read off the spec (higher runs first);
+    #: absent = 0, matching qsub's default.
+    def _pick_next(self) -> Optional[int]:
+        if not self._queue:
+            return None
+        best_idx = 0
+        best_prio = getattr(self._queue[0].spec, "priority", 0)
+        for idx, job in enumerate(self._queue):
+            prio = getattr(job.spec, "priority", 0)
+            if prio > best_prio:
+                best_idx, best_prio = idx, prio
+        return best_idx
+
+
+class CondorScheduler(BatchScheduler):
+    """Condor: decayed-usage fair share across users.
+
+    Every completed job adds its CPU time to the user's usage; usage
+    decays exponentially with a half-life, and the queued job whose user
+    has the lowest current usage starts first.  This reproduces Condor's
+    effective-user-priority behaviour to first order and is what lets
+    the low-priority Exerciser (§4.7) backfill without starving science
+    users.
+    """
+
+    flavour = "condor"
+
+    def __init__(self, engine: Engine, site, runner=None,
+                 usage_half_life: float = 24 * HOUR) -> None:
+        super().__init__(engine, site, runner)
+        self.usage_half_life = usage_half_life
+        self._usage: Dict[str, float] = {}
+        self._usage_at: Dict[str, float] = {}
+        self.on_job_complete.append(self._account)
+
+    def _decayed_usage(self, user: str) -> float:
+        usage = self._usage.get(user, 0.0)
+        if usage == 0.0:
+            return 0.0
+        age = self.engine.now - self._usage_at.get(user, self.engine.now)
+        return usage * 0.5 ** (age / self.usage_half_life)
+
+    def _account(self, job: Job) -> None:
+        user = job.spec.user
+        self._usage[user] = self._decayed_usage(user) + job.cpu_time
+        self._usage_at[user] = self.engine.now
+
+    def _pick_next(self) -> Optional[int]:
+        if not self._queue:
+            return None
+        # Nice-user jobs (the Exerciser) only run when nothing else waits.
+        normal = [
+            (self._decayed_usage(job.spec.user), idx)
+            for idx, job in enumerate(self._queue)
+            if not getattr(job.spec, "nice_user", False)
+        ]
+        if normal:
+            return min(normal)[1]
+        return 0  # only nice-user jobs queued: backfill FIFO
+
+
+class LSFScheduler(BatchScheduler):
+    """LSF: class-based queues — short / medium / long by requested
+    walltime, served strictly in that order, FIFO within a class."""
+
+    flavour = "lsf"
+
+    SHORT = 4 * HOUR
+    MEDIUM = 24 * HOUR
+
+    def _queue_class(self, job: Job) -> int:
+        wt = job.spec.walltime_request
+        if wt <= self.SHORT:
+            return 0
+        if wt <= self.MEDIUM:
+            return 1
+        return 2
+
+    def _pick_next(self) -> Optional[int]:
+        if not self._queue:
+            return None
+        return min(
+            range(len(self._queue)),
+            key=lambda idx: (self._queue_class(self._queue[idx]), idx),
+        )
+
+
+#: Map from a SiteConfig.batch_system string to the scheduler class.
+FLAVOURS = {
+    "pbs": PBSScheduler,
+    "condor": CondorScheduler,
+    "lsf": LSFScheduler,
+}
+
+
+def make_scheduler(engine: Engine, site, runner=None) -> BatchScheduler:
+    """Instantiate the right flavour for a site's configured batch system."""
+    cls = FLAVOURS.get(site.config.batch_system, BatchScheduler)
+    return cls(engine, site, runner)

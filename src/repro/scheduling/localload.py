@@ -1,0 +1,97 @@
+"""Background local load at shared facilities.
+
+§7: "More than 60% of CPU resources are drawn from non-dedicated
+facilities that are both shared among Grid3 participants and available
+to local users."  At such sites, local (non-grid) users occupy a
+fluctuating share of the CPUs, which is why the catalog's typical
+availability is below 1 and why the paper's utilisation metric landed at
+40–70 % rather than 90 %.
+
+:class:`LocalLoadGenerator` is a process that periodically retargets the
+number of CPUs held by synthetic "local jobs" around the site's
+configured mean occupancy, with stochastic jitter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..sim.units import HOUR
+
+
+class LocalLoadGenerator:
+    """Occupies ``1 - availability`` of a shared site's CPUs on average."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        site,
+        rng: RngRegistry,
+        availability: float,
+        adjust_interval: float = 1 * HOUR,
+        jitter: float = 0.10,
+    ) -> None:
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+        self.engine = engine
+        self.site = site
+        self.rng = rng
+        self.availability = availability
+        self.adjust_interval = adjust_interval
+        self.jitter = jitter
+        self._held: List[str] = []  # occupant keys currently holding CPUs
+        self._counter = 0
+        self.process = engine.process(self._run(), name=f"localload-{site.name}")
+
+    @property
+    def held_cpus(self) -> int:
+        """CPUs currently taken by local users."""
+        return len(self._held)
+
+    def _target(self) -> int:
+        mean_occupancy = 1.0 - self.availability
+        noise = self.rng.uniform(
+            f"localload.{self.site.name}", -self.jitter, self.jitter
+        )
+        occupancy = min(1.0, max(0.0, mean_occupancy + noise))
+        return int(round(self.site.cluster.total_cpus * occupancy))
+
+    def _run(self):
+        while True:
+            target = self._target()
+            # Grow: grab free CPUs (never pre-empting grid jobs — local
+            # schedulers at these sites gave everyone a fair share, and
+            # pre-emption effects already show up as node failures).
+            while len(self._held) < target:
+                key = f"local-{self.site.name}-{self._counter}"
+                self._counter += 1
+                node = self.site.cluster.allocate(key)
+                if node is None:
+                    break
+                self._held.append(key)
+            # Shrink: local users log off.
+            while len(self._held) > target:
+                key = self._held.pop()
+                for node in self.site.cluster.nodes:
+                    if key in node.running:
+                        self.site.cluster.release(node, key)
+                        break
+            yield self.engine.timeout(self.adjust_interval)
+
+
+def add_local_load(engine: Engine, sites, specs_by_name, rng: RngRegistry):
+    """Attach load generators to every shared site in a built grid.
+
+    ``specs_by_name`` maps site name -> SiteSpec (for the availability).
+    Returns the generators.
+    """
+    generators = []
+    for site in sites:
+        spec = specs_by_name.get(site.name)
+        if spec is not None and spec.shared:
+            generators.append(
+                LocalLoadGenerator(engine, site, rng, spec.typical_availability)
+            )
+    return generators

@@ -1,0 +1,418 @@
+"""The discrete-event simulation core.
+
+This is a classic event-heap + generator-process kernel, written from
+scratch for this reproduction (the project depends only on numpy /
+networkx).  The design mirrors the well-known process-interaction style:
+
+* :class:`Engine` owns the clock and the pending-event heap.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a Python generator; every value the generator
+  yields must be an :class:`Event`, and the process resumes when that
+  event fires (receiving the event's value, or having the event's
+  exception thrown into it).
+* :class:`AllOf` / :class:`AnyOf` compose events.
+
+Determinism: events scheduled for the same instant fire in (priority,
+insertion-order) order, so repeated runs with the same seeds are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Heap priority for "process a triggered event now" entries — these must
+#: run before ordinary timeouts scheduled at the same instant.
+URGENT = 0
+#: Heap priority for ordinary scheduled occurrences.
+NORMAL = 1
+
+PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure escaped a process and reached the engine."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when
+    :meth:`succeed`/:meth:`fail` is called (its callbacks are then
+    scheduled to run at the current instant), and is *processed* once the
+    callbacks have run.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is PENDING:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.engine._schedule_event(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome onto this one (callback form)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    # -- internals ----------------------------------------------------------
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for callback in callbacks or ():
+            callback(self)
+        if self._ok is False and not self._defused:
+            raise SimulationError(
+                f"unhandled failure in {self!r}: {self._value!r}"
+            ) from self._value
+
+    def __repr__(self) -> str:
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._push(engine.now + delay, NORMAL, self)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal: kicks a freshly created process on the next step."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", process: "Process") -> None:
+        super().__init__(engine)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        engine._push(engine.now, URGENT, self)
+
+
+class Process(Event):
+    """A running generator.  The event fires when the generator finishes.
+
+    The generator's ``return`` value becomes the event's value; an
+    uncaught exception becomes the event's failure.
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = Initialize(engine, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is self:
+            raise RuntimeError("a process cannot interrupt itself synchronously")
+        interrupt_event = Event(self.engine)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.engine._push(self.engine.now, URGENT, interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # An interrupt raced with normal completion at the same
+            # instant; the process already finished, nothing to deliver.
+            return
+        # Detach from the event we were waiting on (relevant for
+        # interrupts, which bypass the waited-on event).
+        target = self._target
+        if target is not None and target is not event and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.engine._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self.generator.throw(exc)
+                if not isinstance(next_event, Event):
+                    raise TypeError(
+                        f"process {self.name!r} yielded non-event {next_event!r}"
+                    )
+                if next_event.callbacks is not None:
+                    # Event still pending or triggered-but-unprocessed:
+                    # park until it fires.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Event already processed: feed its outcome straight back
+                # into the generator on this same stack frame.
+                event = next_event
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:  # noqa: BLE001 - becomes the failure value
+            self.fail(exc)
+        finally:
+            self.engine._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else ("ok" if self._ok else "failed")
+        return f"<Process {self.name!r} {state}>"
+
+
+class ConditionEvent(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise ValueError("cannot mix events from different engines")
+        if not self.events:
+            self._ok = True
+            self._value = {}
+            engine._push(engine.now, URGENT, self)
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Fires when *all* component events succeed (value: dict event→value).
+
+    Fails as soon as any component fails, with that component's exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class AnyOf(ConditionEvent):
+    """Fires when the *first* component event triggers (success or failure
+    mirrored)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if event._ok:
+            self.succeed(event)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+
+class Engine:
+    """The simulation engine: clock plus pending-event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds since the epoch."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling internals -------------------------------------------------
+    def _push(self, time: float, priority: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+
+    def _schedule_event(self, event: Event) -> None:
+        """Queue a just-triggered event's callback processing."""
+        self._push(self._now, URGENT, event)
+
+    # -- execution --------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event.  Returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        if event._value is PENDING:
+            # A Timeout-like entry reaching its due time: it stores its
+            # outcome eagerly, so PENDING here means a cancelled entry.
+            return True
+        event._process()
+        return True
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``float('inf')``."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap empties or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly that
+        time even if no event falls on it.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = max(self._now, until)
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run a single process to completion, return its value."""
+        proc = self.process(generator, name)
+        while proc.is_alive:
+            if not self.step():
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} never finished"
+                )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,81 @@
+"""Item-passing channels between processes.
+
+:class:`Store` is an unbounded FIFO of arbitrary items with blocking
+``get`` — the building block for batch-queue feeds, monitoring pipelines
+and trouble-ticket inboxes.  :class:`PriorityStore` serves the smallest
+item first (items must be orderable, e.g. ``(priority, seq, payload)``
+tuples).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, List
+
+from .engine import Engine, Event
+
+
+class Store:
+    """Unbounded FIFO item store with blocking get."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._items: deque = deque()
+        self._getters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter, if any."""
+        self._items.append(item)
+        self._serve()
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        event = Event(self.engine)
+        self._getters.append(event)
+        self._serve()
+        return event
+
+    def try_get(self) -> Any:
+        """Pop an item immediately, or ``None`` when empty (and no waiter
+        contention is possible because waiters are always served first)."""
+        if self._getters or not self._items:
+            return None
+        return self._pop()
+
+    def _pop(self) -> Any:
+        return self._items.popleft()
+
+    def _serve(self) -> None:
+        while self._getters and self._items:
+            event = self._getters.popleft()
+            event.succeed(self._pop())
+
+
+class PriorityStore(Store):
+    """Store serving the smallest item first."""
+
+    def __init__(self, engine: Engine) -> None:
+        super().__init__(engine)
+        self._items: List = []
+
+    @property
+    def items(self) -> list:
+        """Snapshot of queued items in heap order (smallest first)."""
+        return sorted(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; smallest item is always served first."""
+        heapq.heappush(self._items, item)
+        self._serve()
+
+    def _pop(self) -> Any:
+        return heapq.heappop(self._items)

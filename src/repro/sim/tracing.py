@@ -1,0 +1,95 @@
+"""Optional execution tracing for the simulation kernel.
+
+Debugging a deadlocked or misbehaving simulation usually starts with
+"what ran, when?".  :class:`Tracer` hooks an :class:`~repro.sim.engine.Engine`
+and records a bounded ring of (time, kind, label) entries for processed
+events — cheap enough to leave on during test debugging, structured
+enough to assert against.
+
+    tracer = Tracer(engine, capacity=10_000)
+    ... run ...
+    print(tracer.render_tail(20))
+    tracer.detach()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .engine import Engine, Event, Process, Timeout
+
+
+class TraceEntry(tuple):
+    """(time, kind, label) — a plain tuple with named accessors."""
+
+    __slots__ = ()
+
+    def __new__(cls, time: float, kind: str, label: str):
+        return super().__new__(cls, (time, kind, label))
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def kind(self) -> str:
+        return self[1]
+
+    @property
+    def label(self) -> str:
+        return self[2]
+
+
+def _describe(event: Event) -> Tuple[str, str]:
+    if isinstance(event, Process):
+        state = "ok" if event.ok else "failed"
+        return f"process-{state}", event.name
+    if isinstance(event, Timeout):
+        return "timeout", f"delay={event.delay:g}"
+    return "event", type(event).__name__
+
+
+class Tracer:
+    """Bounded event-trace recorder attached to an engine."""
+
+    def __init__(self, engine: Engine, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self.events_seen = 0
+        self._original_step = engine.step
+        engine.step = self._traced_step  # type: ignore[method-assign]
+        self._attached = True
+
+    def _traced_step(self) -> bool:
+        heap = self.engine._heap
+        upcoming = heap[0][3] if heap else None
+        progressed = self._original_step()
+        if progressed and upcoming is not None and upcoming.processed:
+            kind, label = _describe(upcoming)
+            self.entries.append(TraceEntry(self.engine.now, kind, label))
+            self.events_seen += 1
+        return progressed
+
+    def detach(self) -> None:
+        """Restore the engine's untraced step."""
+        if self._attached:
+            self.engine.step = self._original_step  # type: ignore[method-assign]
+            self._attached = False
+
+    # -- queries ----------------------------------------------------------
+    def tail(self, n: int = 20) -> List[TraceEntry]:
+        """The last ``n`` entries."""
+        return list(self.entries)[-n:]
+
+    def matching(self, substring: str) -> List[TraceEntry]:
+        """Entries whose label contains ``substring``."""
+        return [e for e in self.entries if substring in e.label]
+
+    def render_tail(self, n: int = 20) -> str:
+        """Human-readable tail, newest last."""
+        return "\n".join(
+            f"{e.time:>14.3f}  {e.kind:<16} {e.label}" for e in self.tail(n)
+        )

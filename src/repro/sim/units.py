@@ -1,0 +1,76 @@
+"""Physical units used throughout the Grid3 simulation.
+
+Simulation time is a float number of **seconds** since the simulation
+epoch.  Data sizes are floats in **bytes**.  Bandwidths are **bytes per
+second**.  Keeping everything in base SI units avoids a whole class of
+unit-mixing bugs; these constants exist so call sites read naturally
+(``4 * GB``, ``30 * DAY``).
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+SECOND = 1.0
+MINUTE = 60.0 * SECOND
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+
+# --- data ---------------------------------------------------------------
+BYTE = 1.0
+KB = 1000.0 * BYTE
+MB = 1000.0 * KB
+GB = 1000.0 * MB
+TB = 1000.0 * GB
+
+# --- bandwidth ----------------------------------------------------------
+BPS = 1.0
+KBPS = 1000.0 * BPS
+MBPS = 1000.0 * KBPS
+GBPS = 1000.0 * MBPS
+
+# Conventional conversions used in reporting (the paper reports CPU-days
+# and TB/day).
+CPU_DAY = DAY
+
+
+def seconds_to_days(seconds: float) -> float:
+    """Convert a duration in seconds to days."""
+    return seconds / DAY
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / HOUR
+
+
+def bytes_to_tb(nbytes: float) -> float:
+    """Convert a byte count to terabytes (SI)."""
+    return nbytes / TB
+
+
+def bytes_to_gb(nbytes: float) -> float:
+    """Convert a byte count to gigabytes (SI)."""
+    return nbytes / GB
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration human-readably (e.g. ``"2d 03:04:05"``)."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    whole = int(round(seconds))
+    days, rem = divmod(whole, int(DAY))
+    hours, rem = divmod(rem, int(HOUR))
+    minutes, secs = divmod(rem, int(MINUTE))
+    if days:
+        return f"{days}d {hours:02d}:{minutes:02d}:{secs:02d}"
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Render a byte count with an SI suffix (``"4.0 GB"``)."""
+    value = float(nbytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(value) >= unit:
+            return f"{value / unit:.1f} {name}"
+    return f"{value:.0f} B"

@@ -1,0 +1,32 @@
+"""Workflow tools: DAGs, Chimera virtual data, Pegasus planning, CMS
+MOP/MCRunJob, DIAL analysis."""
+
+from .chimera import (
+    Dax,
+    Derivation,
+    Transformation,
+    VirtualDataCatalog,
+    VirtualDataError,
+)
+from .dag import DAG, DagNode, NodeState
+from .dial import Dataset, DatasetCatalog, analysis_dag
+from .mop import MOP, ControlDatabase, MCRequest
+from .pegasus import PegasusPlanner
+
+__all__ = [
+    "DAG",
+    "DagNode",
+    "Dataset",
+    "DatasetCatalog",
+    "Dax",
+    "Derivation",
+    "MCRequest",
+    "MOP",
+    "ControlDatabase",
+    "NodeState",
+    "PegasusPlanner",
+    "Transformation",
+    "VirtualDataCatalog",
+    "VirtualDataError",
+    "analysis_dag",
+]

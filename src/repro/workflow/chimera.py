@@ -1,0 +1,184 @@
+"""Chimera: the virtual data system (§4.1, §4.3, §4.5).
+
+Chimera records *transformations* (typed programs) and *derivations*
+(transformations with bound inputs/outputs).  Given target logical
+files, the catalog derives an **abstract DAG** (a DAX) of the
+derivations that must run to materialise everything that does not
+already exist — "workflows with several thousand processing steps
+organized by Chimera virtual data tools" (SDSS, §4.3).
+
+Materialisation checks consult RLS: a file that already has a replica
+anywhere on Grid3 is not re-derived (that is the virtual-data value
+proposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GridError
+from ..sim.units import HOUR
+from .dag import DAG, DagNode
+
+
+class VirtualDataError(GridError):
+    """Catalog inconsistency: missing transformation/derivation."""
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A typed executable registered in the VDC."""
+
+    name: str
+    #: Mean pure-compute runtime (seconds); per-derivation draws are
+    #: lognormal around this.
+    runtime: float
+    runtime_sigma: float = 0.3
+    #: Gatekeeper staging intensity class (§6.4).
+    staging: str = "minimal"
+    requires_outbound: bool = False
+    #: Walltime requested = runtime * this safety factor.
+    walltime_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError("runtime cannot be negative")
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A transformation invocation with bound data."""
+
+    derivation_id: str
+    transformation: str
+    inputs: Tuple[str, ...] = ()
+    #: (lfn, bytes) pairs this derivation produces.
+    outputs: Tuple[Tuple[str, float], ...] = ()
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def output_lfns(self) -> Tuple[str, ...]:
+        return tuple(lfn for lfn, _size in self.outputs)
+
+
+class VirtualDataCatalog:
+    """The VDC: transformations + derivations + derive() planning."""
+
+    def __init__(self) -> None:
+        self._transformations: Dict[str, Transformation] = {}
+        self._derivations: Dict[str, Derivation] = {}
+        #: lfn -> derivation that produces it.
+        self._producer: Dict[str, Derivation] = {}
+
+    # -- registration -------------------------------------------------------
+    def add_transformation(self, tr: Transformation) -> Transformation:
+        """Register a transformation (replaces same-name entries)."""
+        self._transformations[tr.name] = tr
+        return tr
+
+    def add_derivation(self, dv: Derivation) -> Derivation:
+        """Register a derivation; every output gains a producer entry."""
+        if dv.transformation not in self._transformations:
+            raise VirtualDataError(
+                f"derivation {dv.derivation_id} uses unknown transformation "
+                f"{dv.transformation!r}"
+            )
+        for lfn in dv.output_lfns:
+            other = self._producer.get(lfn)
+            if other is not None and other.derivation_id != dv.derivation_id:
+                raise VirtualDataError(
+                    f"{lfn} produced by both {other.derivation_id} and "
+                    f"{dv.derivation_id}"
+                )
+        self._derivations[dv.derivation_id] = dv
+        for lfn in dv.output_lfns:
+            self._producer[lfn] = dv
+        return dv
+
+    # -- lookup -----------------------------------------------------------------
+    def transformation(self, name: str) -> Transformation:
+        try:
+            return self._transformations[name]
+        except KeyError:
+            raise VirtualDataError(f"unknown transformation {name!r}") from None
+
+    def derivation(self, derivation_id: str) -> Derivation:
+        try:
+            return self._derivations[derivation_id]
+        except KeyError:
+            raise VirtualDataError(f"unknown derivation {derivation_id!r}") from None
+
+    def producer_of(self, lfn: str) -> Optional[Derivation]:
+        """The derivation producing ``lfn``, or None for raw inputs."""
+        return self._producer.get(lfn)
+
+    def derivations(self) -> List[Derivation]:
+        return list(self._derivations.values())
+
+    # -- planning ----------------------------------------------------------------
+    def derive(
+        self,
+        targets: Sequence[str],
+        materialized: Optional[Set[str]] = None,
+    ) -> "Dax":
+        """Build the abstract DAG producing ``targets``.
+
+        ``materialized`` is the set of LFNs that already exist (usually
+        from RLS); their producing derivations are pruned.  Raw inputs
+        (no producer, not materialized) raise VirtualDataError — the
+        workflow cannot run without them.
+        """
+        materialized = materialized or set()
+        needed: Dict[str, Derivation] = {}
+        missing_raw: List[str] = []
+
+        def visit(lfn: str) -> None:
+            if lfn in materialized:
+                return
+            dv = self._producer.get(lfn)
+            if dv is None:
+                missing_raw.append(lfn)
+                return
+            if dv.derivation_id in needed:
+                return
+            needed[dv.derivation_id] = dv
+            for parent_lfn in dv.inputs:
+                visit(parent_lfn)
+
+        for target in targets:
+            visit(target)
+        if missing_raw:
+            raise VirtualDataError(
+                f"raw inputs not materialized anywhere: {sorted(set(missing_raw))}"
+            )
+        return Dax(self, needed)
+
+
+class Dax:
+    """An abstract workflow: derivations + their data dependencies."""
+
+    def __init__(self, vdc: VirtualDataCatalog, derivations: Dict[str, Derivation]) -> None:
+        self.vdc = vdc
+        self.derivations = dict(derivations)
+
+    def __len__(self) -> int:
+        return len(self.derivations)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """(parent_id, child_id) pairs: child consumes parent's output."""
+        out = []
+        for child in self.derivations.values():
+            for lfn in child.inputs:
+                producer = self.vdc.producer_of(lfn)
+                if producer is not None and producer.derivation_id in self.derivations:
+                    out.append((producer.derivation_id, child.derivation_id))
+        return sorted(set(out))
+
+    def output_sizes(self) -> Dict[str, float]:
+        """lfn -> bytes for every output produced inside this DAX."""
+        sizes: Dict[str, float] = {}
+        for dv in self.derivations.values():
+            for lfn, size in dv.outputs:
+                sizes[lfn] = size
+        return sizes

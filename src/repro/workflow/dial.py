@@ -1,0 +1,120 @@
+"""DIAL: distributed interactive analysis of large datasets (§4.1, §6.1).
+
+"A dataset catalog was created for produced samples, making them
+available to the DIAL distributed analysis package.  Output datasets
+were stored at BNL by the grid jobs, and continue to be analyzed by
+DIAL developers and the SUSY physics working group."
+
+:class:`DatasetCatalog` indexes produced datasets;
+:func:`analysis_dag` fans an analysis task out over a dataset selection
+(one histogram-filling job per dataset) with a final merge step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.job import JobSpec
+from ..sim.rng import RngRegistry
+from ..sim.units import HOUR, MB
+from .dag import DAG
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A produced data sample registered for analysis."""
+
+    name: str
+    lfn: str
+    size: float
+    site: str        # where the sample is archived (BNL for ATLAS)
+    events: int
+
+
+class DatasetCatalog:
+    """The DIAL-facing index of production output."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, Dataset] = {}
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def register(self, dataset: Dataset) -> Dataset:
+        """Add a dataset (idempotent by name)."""
+        self._datasets[dataset.name] = dataset
+        return dataset
+
+    def lookup(self, name: str) -> Dataset:
+        return self._datasets[name]
+
+    def select(self, prefix: str = "") -> List[Dataset]:
+        """Datasets whose name starts with ``prefix`` (sorted)."""
+        return [
+            self._datasets[name]
+            for name in sorted(self._datasets)
+            if name.startswith(prefix)
+        ]
+
+
+def analysis_dag(
+    catalog: DatasetCatalog,
+    rng: RngRegistry,
+    user: str,
+    prefix: str = "",
+    name: str = "dial-analysis",
+    seconds_per_event: float = 0.02,
+    histogram_bytes: float = 20 * MB,
+    max_datasets: Optional[int] = None,
+) -> DAG:
+    """Fan-out/fan-in analysis over catalogued datasets.
+
+    One job per dataset reads the sample where it lives and produces a
+    small histogram file; a final merge job combines them.  Raises
+    ValueError when the selection is empty (nothing to analyse).
+    """
+    datasets = catalog.select(prefix)
+    if max_datasets is not None:
+        datasets = datasets[:max_datasets]
+    if not datasets:
+        raise ValueError(f"no datasets match prefix {prefix!r}")
+    dag = DAG(name)
+    hist_outputs = []
+    for ds in datasets:
+        runtime = rng.lognormal_from_mean(
+            "dial.analysis", max(1.0, ds.events * seconds_per_event), 0.3
+        )
+        hist_lfn = f"/dial/{name}/{ds.name}.hist"
+        hist_outputs.append((hist_lfn, histogram_bytes))
+        dag.add_job(
+            f"ana-{ds.name}",
+            JobSpec(
+                name=f"ana-{ds.name}", vo="usatlas", user=user,
+                runtime=runtime,
+                walltime_request=max(2 * HOUR, runtime * 4),
+                inputs=((ds.lfn, ds.size),),
+                outputs=((hist_lfn, histogram_bytes),),
+                staging="heavy",
+                archive_site=ds.site,
+            ),
+        )
+    merge_runtime = rng.uniform("dial.merge", 60.0, 600.0)
+    dag.add_job(
+        "merge",
+        JobSpec(
+            name="merge", vo="usatlas", user=user,
+            runtime=merge_runtime,
+            walltime_request=2 * HOUR,
+            inputs=tuple(hist_outputs),
+            outputs=((f"/dial/{name}/merged.hist", histogram_bytes),),
+            staging="minimal",
+            archive_site=datasets[0].site,
+        ),
+    )
+    for ds in datasets:
+        dag.add_edge(f"ana-{ds.name}", "merge")
+    return dag

@@ -1,0 +1,124 @@
+"""Tests for the shape-comparison scorer."""
+
+import pytest
+
+from repro.analysis.compare import (
+    ShapeCheck,
+    agreement_report,
+    compare_figure5,
+    compare_figure6,
+    compare_table1,
+)
+from repro.analysis.table1 import PAPER_TABLE1, Table1Row
+from repro.monitoring.transfers import TransferLedger
+from repro.sim import DAY, TB
+
+
+def row(cls, jobs, avg_hr, cpu_days, peak_month="11-2003", max_pct=50.0):
+    return Table1Row(
+        cls=cls, users=5, sites_used=10, jobs=jobs,
+        avg_runtime_hr=avg_hr, max_runtime_hr=avg_hr * 10,
+        total_cpu_days=cpu_days, peak_month=peak_month,
+        peak_month_jobs=jobs // 2, peak_resources=5,
+        max_single_resource_jobs=jobs // 4,
+        max_single_resource_pct=max_pct, peak_month_cpu_days=cpu_days / 2,
+    )
+
+
+def paper_shaped_rows():
+    return {
+        "Exerciser": row("Exerciser", 198272, 0.13, 1034, "12-2003", 8.0),
+        "iVDGL": row("iVDGL", 58145, 1.22, 2946, "11-2003", 88.0),
+        "USCMS": row("USCMS", 19354, 41.85, 33750),
+        "USATLAS": row("USATLAS", 7455, 8.81, 2736, max_pct=28.0),
+        "SDSS": row("SDSS", 5410, 1.46, 329, "02-2004"),
+        "BTEV": row("BTEV", 2598, 1.77, 192, max_pct=60.0),
+        "LIGO": row("LIGO", 3, 0.01, 0.01, "12-2003"),
+    }
+
+
+def test_paper_shaped_table_passes_all_checks():
+    checks = compare_table1(paper_shaped_rows())
+    failing = [c for c in checks if not c.passed]
+    assert failing == []
+
+
+def test_missing_class_short_circuits():
+    rows = paper_shaped_rows()
+    del rows["LIGO"]
+    checks = compare_table1(rows)
+    assert len(checks) == 1
+    assert not checks[0].passed
+    assert "LIGO" in checks[0].detail
+
+
+def test_wrong_ordering_detected():
+    rows = paper_shaped_rows()
+    rows["USATLAS"] = row("USATLAS", 7455, 60.0, 2736)  # now beats USCMS
+    checks = compare_table1(rows)
+    names = {c.name: c.passed for c in checks}
+    assert not names["USCMS longest mean runtime"]
+
+
+def test_wrong_peak_month_detected():
+    rows = paper_shaped_rows()
+    rows["USCMS"] = row("USCMS", 19354, 41.85, 33750, peak_month="02-2004")
+    checks = compare_table1(rows)
+    names = {c.name: c.passed for c in checks}
+    assert not names["USCMS peaks in 11-2003"]
+
+
+def test_continual_production_check():
+    rows = paper_shaped_rows()
+    checks = {c.name: c for c in compare_table1(rows)}
+    claim = checks["continual production (peak month holds a minority of CPU)"]
+    # paper_shaped_rows gives every class peak_cpu = total/2 (50 %) — ok.
+    assert claim.passed
+    # Concentrate everything into the peak month: the claim fails.
+    concentrated = paper_shaped_rows()
+    for cls in ("USCMS", "USATLAS", "iVDGL", "SDSS"):
+        r = concentrated[cls]
+        concentrated[cls] = Table1Row(
+            cls=r.cls, users=r.users, sites_used=r.sites_used, jobs=r.jobs,
+            avg_runtime_hr=r.avg_runtime_hr, max_runtime_hr=r.max_runtime_hr,
+            total_cpu_days=r.total_cpu_days, peak_month=r.peak_month,
+            peak_month_jobs=r.peak_month_jobs, peak_resources=r.peak_resources,
+            max_single_resource_jobs=r.max_single_resource_jobs,
+            max_single_resource_pct=r.max_single_resource_pct,
+            peak_month_cpu_days=r.total_cpu_days * 0.95,
+        )
+    checks2 = {c.name: c for c in compare_table1(concentrated)}
+    assert not checks2[claim.name].passed
+
+
+def test_figure5_checks():
+    ledger = TransferLedger()
+    for day in range(30):
+        ledger.record(day * DAY + 1, "ivdgl", 2.5 * TB, "A", "B")
+        ledger.record(day * DAY + 2, "uscms", 0.5 * TB, "B", "C")
+    checks = compare_figure5(ledger, 0.0, 30 * DAY, rescale=1.0)
+    assert all(c.passed for c in checks)
+    # An empty ledger fails everything.
+    empty = compare_figure5(TransferLedger(), 0.0, 30 * DAY, rescale=1.0)
+    assert not any(c.passed for c in empty)
+
+
+def test_figure6_checks():
+    good = {"10-2003": 100, "11-2003": 900, "12-2003": 700,
+            "01-2004": 500, "02-2004": 450, "03-2004": 480}
+    checks = compare_figure6(good)
+    assert all(c.passed for c in checks)
+    bad = dict(good, **{"10-2003": 2000})  # no ramp
+    names = {c.name: c.passed for c in compare_figure6(bad)}
+    assert not names["2003 ramp (Oct < Nov)"]
+
+
+def test_agreement_report_rendering():
+    checks = [
+        ShapeCheck("a", True, "fine", "Table 1"),
+        ShapeCheck("b", False, "off", "Fig. 5"),
+    ]
+    text = agreement_report(checks)
+    assert "1/2 claims hold" in text
+    assert "[PASS] (Table 1) a" in text
+    assert "[MISS] (Fig. 5) b" in text

@@ -1,0 +1,150 @@
+"""Tests for the Table 1 computation, figure functions, and renderers."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    TABLE1_CLASSES,
+    classify,
+    compute_table1,
+    figure2_integrated_cpu,
+    figure5_data_consumed,
+    figure6_jobs_by_month,
+    render_bar_chart,
+    render_series,
+    render_table,
+    render_table1,
+)
+from repro.monitoring.acdc import ACDCDatabase, JobRecord
+from repro.monitoring.mdviewer import MDViewer
+from repro.monitoring.transfers import TransferLedger
+from repro.sim import DAY, HOUR, SimCalendar, TB
+
+
+def record(job_id=0, name="job", vo="usatlas", user="alice", site="S0",
+           start=0.0, runtime=HOUR, ok=True):
+    return JobRecord(
+        job_id=job_id, name=name, vo=vo, user=user, site=site,
+        submitted_at=start, started_at=start, finished_at=start + runtime,
+        runtime=runtime, queue_time=0.0, succeeded=ok,
+        failure_category="" if ok else "site",
+        failure_type="" if ok else "StorageFullError",
+        bytes_in=0.0, bytes_out=0.0,
+    )
+
+
+def test_classify_vo_and_exerciser():
+    assert classify(record(vo="usatlas")) == "USATLAS"
+    assert classify(record(vo="btev")) == "BTEV"
+    assert classify(record(vo="ivdgl")) == "iVDGL"
+    assert classify(record(vo="ivdgl", name="exerciser-BNL-1")) == "Exerciser"
+
+
+def test_paper_table1_reference_complete():
+    assert set(PAPER_TABLE1) == set(TABLE1_CLASSES)
+    assert PAPER_TABLE1["USCMS"]["avg_runtime_hr"] == 41.85
+    total_jobs = sum(v["jobs"] for v in PAPER_TABLE1.values())
+    assert total_jobs == 291_237  # Table 1 column sum (paper cites 291 052 records)
+
+
+def test_compute_table1_basic_stats():
+    db = ACDCDatabase()
+    cal = SimCalendar()
+    # 3 usatlas jobs: 2 in November at S0, 1 in February at S1.
+    nov = 10 * DAY  # Nov 2003 (epoch is Oct 23)
+    feb = 110 * DAY
+    db.add(record(1, vo="usatlas", site="S0", start=nov, runtime=2 * HOUR))
+    db.add(record(2, vo="usatlas", site="S0", start=nov + DAY, runtime=4 * HOUR))
+    db.add(record(3, vo="usatlas", site="S1", start=feb, runtime=6 * HOUR))
+    rows = compute_table1(db, cal)
+    row = rows["USATLAS"]
+    assert row.jobs == 3
+    assert row.users == 1
+    assert row.sites_used == 2
+    assert row.avg_runtime_hr == pytest.approx(4.0)
+    assert row.max_runtime_hr == pytest.approx(6.0)
+    assert row.total_cpu_days == pytest.approx(0.5)
+    assert row.peak_month == "11-2003"
+    assert row.peak_month_jobs == 2
+    assert row.max_single_resource_pct == pytest.approx(100.0)
+    assert row.peak_resources == 1
+
+
+def test_compute_table1_single_resource_share():
+    db = ACDCDatabase()
+    nov = 10 * DAY
+    for i in range(6):
+        db.add(record(i, vo="btev", site="Vanderbilt" if i < 4 else "FNAL",
+                      start=nov + i * HOUR))
+    row = compute_table1(db)["BTEV"]
+    assert row.max_single_resource_jobs == 4
+    assert row.max_single_resource_pct == pytest.approx(4 / 6 * 100)
+    assert row.peak_resources == 2
+
+
+def test_render_table1_order_and_content():
+    db = ACDCDatabase()
+    db.add(record(1, vo="uscms"))
+    db.add(record(2, vo="btev"))
+    text = render_table1(compute_table1(db))
+    assert text.index("BTEV") < text.index("USCMS")
+    assert "avg_hr" in text
+
+
+# --- figures -----------------------------------------------------------------
+
+def test_figure2_rescaling():
+    db = ACDCDatabase()
+    db.add(record(1, vo="uscms", runtime=DAY))
+    viewer = MDViewer(db)
+    data, text = figure2_integrated_cpu(viewer, 0.0, 30 * DAY, rescale=50.0)
+    assert data["uscms"] == pytest.approx(50.0)
+    assert "Figure 2" in text and "uscms" in text
+
+
+def test_figure5_total_and_breakdown():
+    ledger = TransferLedger()
+    ledger.record(DAY, "ivdgl", 3 * TB, "A", "B")
+    ledger.record(2 * DAY, "usatlas", 1 * TB, "B", "C")
+    viewer = MDViewer(ACDCDatabase(), ledger=ledger)
+    data, text = figure5_data_consumed(viewer, 0.0, 30 * DAY)
+    assert data["ivdgl"] == pytest.approx(3.0)
+    assert data["__total__"] == pytest.approx(4.0)
+    assert "Figure 5" in text
+
+
+def test_figure6_month_ordering():
+    db = ACDCDatabase()
+    db.add(record(1, start=5 * DAY))     # Oct 2003
+    db.add(record(2, start=100 * DAY))   # Jan/Feb 2004
+    viewer = MDViewer(db, calendar=SimCalendar())
+    data, text = figure6_jobs_by_month(viewer)
+    months = list(data)
+    # Sorted chronologically (year first), not alphabetically.
+    assert months[0].endswith("2003")
+    assert months[-1].endswith("2004")
+
+
+# --- renderers -----------------------------------------------------------------
+
+def test_render_table_alignment():
+    text = render_table(["a", "b"], [[1, 2.5], [30, "x"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(l) for l in lines)) == 1  # all rows same width
+
+
+def test_render_bar_chart():
+    text = render_bar_chart({"big": 10.0, "small": 1.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].startswith("big")  # sorted descending
+    assert lines[0].count("#") == 10
+    assert 0 <= lines[1].count("#") <= 2
+    assert render_bar_chart({}) == "(no data)"
+
+
+def test_render_series():
+    text = render_series([(0.0, 1.0), (DAY, 2.0)], label="cpus")
+    assert "cpus" in text
+    assert "1.0d" in text
+    assert render_series([], label="x") == "x: (no data)"

@@ -1,0 +1,113 @@
+"""Tests for demonstrator internals: AppStats, campaign math, and the
+GridFTP demo's matrix traffic."""
+
+import pytest
+
+from repro import Grid3, Grid3Config
+from repro.apps.base import AppStats
+from repro.apps.gridftp_demo import GridFTPDemoApplication
+from repro.core.job import Job, JobSpec, JobState
+from repro.errors import ApplicationError, StorageFullError
+from repro.failures import FailureProfile
+from repro.sim import DAY, GB, HOUR, TB
+
+
+def make_job(ok=True, error=None):
+    job = Job(spec=JobSpec(name="j", vo="usatlas", user="u", runtime=HOUR))
+    job.mark(JobState.PENDING, 0.0)
+    job.mark(JobState.ACTIVE, 1.0)
+    if ok:
+        job.mark(JobState.DONE, 2.0)
+    else:
+        job.error = error or StorageFullError("full")
+        job.mark(JobState.FAILED, 2.0)
+    return job
+
+
+def test_appstats_accounting():
+    stats = AppStats()
+    stats.add_jobs([make_job(), make_job(ok=False),
+                    make_job(ok=False, error=ApplicationError("bug"))])
+    assert stats.job_count == 3
+    assert stats.succeeded == 1 and stats.failed == 2
+    assert stats.success_rate == pytest.approx(1 / 3)
+    assert stats.failure_rate == pytest.approx(2 / 3)
+    assert stats.failure_breakdown() == {"site": 1, "application": 1}
+    assert stats.site_failure_fraction == pytest.approx(0.5)
+
+
+def test_appstats_empty():
+    stats = AppStats()
+    assert stats.success_rate == 0.0
+    assert stats.failure_rate == 0.0
+    assert stats.site_failure_fraction == 0.0
+
+
+@pytest.fixture(scope="module")
+def idle_grid():
+    grid = Grid3(Grid3Config(
+        seed=9, scale=400, duration_days=30, apps=[],
+        failures=FailureProfile.disabled(), misconfig_probability=0.0,
+    ))
+    grid.deploy()
+    return grid
+
+
+def test_demo_site_pairs_walk_the_matrix(idle_grid):
+    app = GridFTPDemoApplication(idle_grid.app_context())
+    pairs = app._site_pairs(10)
+    assert len(pairs) == 10
+    assert all(src != dst for src, dst in pairs)
+    # The matrix walk visits many distinct sources, not one pair forever.
+    assert len({src for src, _ in pairs}) >= 5
+
+
+def test_demo_volume_scales_with_config(idle_grid):
+    ctx = idle_grid.app_context()
+    app = GridFTPDemoApplication(ctx, daily_volume=2.4 * TB,
+                                 cycle_interval=1 * HOUR)
+    per_cycle = 2.4 * TB / 24 / ctx.scale
+    n = max(1, int(round(per_cycle / app.transfer_size)))
+    # One cycle's submissions match the configured volume.
+    assert n * (per_cycle / n) == pytest.approx(per_cycle)
+
+
+def test_demo_end_to_end_reliability_and_ledger():
+    grid = Grid3(Grid3Config(
+        seed=9, scale=300, duration_days=4, apps=["gridftp-demo"],
+        failures=FailureProfile.disabled(), misconfig_probability=0.0,
+    ))
+    grid.run_full()
+    app = grid.apps["gridftp-demo"]
+    assert app.transfers_ok > 20
+    assert app.reliability > 0.95
+    # Ledger volume equals the app's delivered counter.
+    assert grid.ledger.total_bytes(kind="demo") == pytest.approx(
+        app.bytes_delivered
+    )
+    # Demo traffic does not consume storage anywhere.
+    for site in grid.sites.values():
+        for f in site.storage.files():
+            assert not f.lfn.startswith("/entrada/")
+
+
+def test_demo_survives_network_interruptions():
+    grid = Grid3(Grid3Config(
+        seed=10, scale=300, duration_days=4, apps=["gridftp-demo"],
+        failures=FailureProfile(
+            service_failure_interval=None,
+            network_interruption_interval=6 * HOUR,  # very hostile WAN
+            node_mtbf=None,
+            nightly_rollover={},
+        ),
+        misconfig_probability=0.0,
+    ))
+    grid.run_full()
+    app = grid.apps["gridftp-demo"]
+    # Link cuts happened constantly; transfers caught mid-flight die,
+    # ones that start during an outage stall and resume — either way the
+    # demo keeps delivering (§6.3: "long-running data transfers ran
+    # reliably").
+    assert grid.injector.injected["network"] > 100
+    assert app.transfers_ok > 20
+    assert app.reliability > 0.7

@@ -1,0 +1,115 @@
+"""Tests for the JobSpec/Job model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import STAGING_LOAD_FACTOR, Job, JobSpec, JobState
+from repro.errors import ApplicationError, StorageFullError
+from repro.sim import GB, HOUR
+
+
+def spec(**kw):
+    defaults = dict(name="test", vo="usatlas", user="alice", runtime=HOUR)
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        spec(runtime=-1)
+    with pytest.raises(ValueError):
+        spec(walltime_request=0)
+    with pytest.raises(ValueError):
+        spec(staging="extreme")
+    with pytest.raises(ValueError):
+        spec(app_failure_probability=1.5)
+
+
+def test_spec_data_volumes():
+    s = spec(
+        inputs=(("/in/a", 2 * GB), ("/in/b", 1 * GB)),
+        outputs=(("/out/x", 4 * GB),),
+        disk_needed=1 * GB,
+    )
+    assert s.input_bytes == 3 * GB
+    assert s.output_bytes == 4 * GB
+    assert s.local_disk_footprint == 8 * GB
+
+
+def test_staging_factors_match_paper():
+    # §6.4: base, "factor of two", "three or four".
+    assert STAGING_LOAD_FACTOR["none"] == 1.0
+    assert STAGING_LOAD_FACTOR["minimal"] == 2.0
+    assert 3.0 <= STAGING_LOAD_FACTOR["heavy"] <= 4.0
+    assert spec(staging="heavy").staging_load_factor == STAGING_LOAD_FACTOR["heavy"]
+
+
+def test_job_ids_unique():
+    a, b = Job(spec()), Job(spec())
+    assert a.job_id != b.job_id
+
+
+def test_job_lifecycle_timestamps():
+    job = Job(spec(), site_name="SiteA")
+    job.mark(JobState.PENDING, 10.0)
+    job.mark(JobState.ACTIVE, 25.0)
+    job.mark(JobState.DONE, 100.0)
+    assert job.submitted_at == 10.0
+    assert job.started_at == 25.0
+    assert job.finished_at == 100.0
+    assert job.queue_time == 15.0
+    assert job.run_time == 75.0
+    assert job.cpu_time == 75.0
+    assert job.succeeded and job.finished and not job.failed
+
+
+def test_job_stage_in_counts_as_start():
+    job = Job(spec())
+    job.mark(JobState.PENDING, 0.0)
+    job.mark(JobState.STAGE_IN, 5.0)
+    job.mark(JobState.ACTIVE, 8.0)  # started_at not overwritten
+    assert job.started_at == 5.0
+
+
+def test_job_failure_category():
+    job = Job(spec())
+    assert job.failure_category is None
+    job.error = StorageFullError("disk full")
+    assert job.failure_category == "site"
+    job.error = ApplicationError("segfault")
+    assert job.failure_category == "application"
+
+
+def test_job_never_started_times_are_zero():
+    job = Job(spec())
+    job.mark(JobState.PENDING, 5.0)
+    job.mark(JobState.FAILED, 9.0)
+    assert job.run_time == 0.0
+    assert job.queue_time == 0.0
+    assert job.failed
+
+
+def test_vo_delegation_and_repr():
+    job = Job(spec(), site_name="BNL_ATLAS")
+    assert job.vo == "usatlas"
+    assert "BNL_ATLAS" in repr(job)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    submitted=st.floats(min_value=0, max_value=1e6),
+    queue=st.floats(min_value=0, max_value=1e5),
+    run=st.floats(min_value=0, max_value=1e6),
+)
+def test_property_time_accounting(submitted, queue, run):
+    """Property: queue_time + run_time == finished - submitted."""
+    job = Job(spec())
+    job.mark(JobState.PENDING, submitted)
+    job.mark(JobState.ACTIVE, submitted + queue)
+    job.mark(JobState.DONE, submitted + queue + run)
+    assert job.queue_time == pytest.approx(queue, abs=1e-6)
+    assert job.run_time == pytest.approx(run, abs=1e-6)
+    assert job.queue_time + job.run_time == pytest.approx(
+        job.finished_at - job.submitted_at, abs=1e-6
+    )

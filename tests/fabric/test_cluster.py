@@ -1,0 +1,145 @@
+"""Tests for clusters, worker nodes, and node-failure eviction."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt
+from repro.fabric import Cluster, WorkerNode
+
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        WorkerNode("n", 0)
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        Cluster(Engine(), "c", 0)
+
+
+def test_capacity_accounting():
+    c = Cluster(Engine(), "c", nodes=4, cpus_per_node=2)
+    assert c.total_cpus == 8
+    assert c.free_cpus == 8
+    assert c.busy_cpus == 0
+    assert c.utilisation == 0.0
+
+
+def test_allocate_least_loaded_first():
+    c = Cluster(Engine(), "c", nodes=2, cpus_per_node=2)
+    n1 = c.allocate("job1")
+    n2 = c.allocate("job2")
+    # Spread across nodes before stacking.
+    assert n1 is not n2
+
+
+def test_allocate_until_full():
+    c = Cluster(Engine(), "c", nodes=2, cpus_per_node=1)
+    assert c.allocate("a") is not None
+    assert c.allocate("b") is not None
+    assert c.allocate("c") is None
+    assert c.busy_cpus == 2
+
+
+def test_release_frees_slot():
+    c = Cluster(Engine(), "c", nodes=1, cpus_per_node=1)
+    node = c.allocate("a")
+    assert c.allocate("b") is None
+    c.release(node, "a")
+    assert c.allocate("b") is not None
+
+
+def test_release_unknown_occupant_is_noop():
+    c = Cluster(Engine(), "c", nodes=1, cpus_per_node=1)
+    node = c.nodes[0]
+    c.release(node, "ghost")  # must not raise
+
+
+def test_fail_node_interrupts_processes():
+    eng = Engine()
+    c = Cluster(eng, "c", nodes=1, cpus_per_node=2)
+    interrupted = []
+
+    def job(tag):
+        node = c.allocate(tag, eng.active_process)
+        try:
+            yield eng.timeout(100.0)
+            c.release(node, tag)
+        except Interrupt as intr:
+            interrupted.append((tag, intr.cause))
+
+    eng.process(job("j1"))
+    eng.process(job("j2"))
+
+    def failer():
+        yield eng.timeout(10.0)
+        c.fail_node(c.nodes[0], cause="power cut")
+
+    eng.process(failer())
+    eng.run()
+    assert sorted(t for t, _ in interrupted) == ["j1", "j2"]
+    assert all(cause == "power cut" for _, cause in interrupted)
+    assert not c.nodes[0].online
+    assert c.nodes[0].free_cpus == 0  # offline nodes expose no slots
+
+
+def test_restore_node():
+    c = Cluster(Engine(), "c", nodes=1, cpus_per_node=2)
+    c.fail_node(c.nodes[0])
+    c.restore_node(c.nodes[0])
+    assert c.nodes[0].online
+    assert c.free_cpus == 2
+
+
+def test_eviction_observer():
+    eng = Engine()
+    c = Cluster(eng, "c", nodes=1, cpus_per_node=1)
+    seen = []
+    c.on_eviction.append(lambda node, occ: seen.append(occ))
+    c.allocate("job-x")
+    c.fail_node(c.nodes[0])
+    assert seen == ["job-x"]
+
+
+def test_rollover_kills_fraction():
+    eng = Engine()
+    c = Cluster(eng, "c", nodes=10, cpus_per_node=1)
+    for i in range(10):
+        c.allocate(f"j{i}")
+    evicted = c.rollover(fraction=0.3)
+    assert len(evicted) == 3
+    # Rollover brings nodes straight back.
+    assert all(n.online for n in c.nodes)
+    assert c.busy_cpus == 7
+
+
+def test_rollover_always_at_least_one_node():
+    c = Cluster(Engine(), "c", nodes=3, cpus_per_node=1)
+    c.allocate("a")  # lands on the least-loaded node... all equal: node 0
+    evicted = c.rollover(fraction=0.01)
+    assert len(evicted) in (0, 1)  # one node rolled, may or may not be busy
+
+
+def test_resize_grow():
+    c = Cluster(Engine(), "c", nodes=2, cpus_per_node=2)
+    c.resize(4)
+    assert c.total_cpus == 8
+    assert len(c.nodes) == 4
+
+
+def test_resize_shrink_spares_busy_nodes():
+    c = Cluster(Engine(), "c", nodes=3, cpus_per_node=1)
+    busy_node = c.allocate("job")
+    c.resize(1)
+    assert busy_node in c.nodes  # busy node survived
+    assert c.busy_cpus == 1
+
+
+def test_resize_negative_rejected():
+    with pytest.raises(ValueError):
+        Cluster(Engine(), "c", nodes=1).resize(-1)
+
+
+def test_utilisation_counts_total_not_online():
+    c = Cluster(Engine(), "c", nodes=2, cpus_per_node=1)
+    c.allocate("a")
+    assert c.utilisation == pytest.approx(0.5)

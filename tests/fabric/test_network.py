@@ -1,0 +1,231 @@
+"""Tests for the flow-level max-min fair network model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkInterruptionError
+from repro.fabric import Network
+from repro.sim import Engine
+
+
+def make_net(eng, n_links=2, bw=100.0):
+    net = Network(eng)
+    for i in range(n_links):
+        net.add_link(f"l{i}", bw)
+    return net
+
+
+def test_link_validation():
+    eng = Engine()
+    net = Network(eng)
+    with pytest.raises(ValueError):
+        net.add_link("bad", 0.0)
+    net.add_link("ok", 10.0)
+    with pytest.raises(ValueError):
+        net.add_link("ok", 10.0)  # duplicate
+
+
+def test_single_flow_full_bandwidth():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    flow = net.start_transfer(["l0"], 1000.0)
+    assert flow.rate == 100.0
+    eng.run()
+    assert flow.done.triggered and flow.done.ok
+    assert eng.now == pytest.approx(10.0)
+    assert net.total_bytes_delivered == 1000.0
+
+
+def test_zero_byte_transfer_completes_immediately():
+    eng = Engine()
+    net = make_net(eng, 1)
+    flow = net.start_transfer(["l0"], 0.0)
+    assert flow.done.triggered
+
+
+def test_negative_size_rejected():
+    eng = Engine()
+    net = make_net(eng, 1)
+    with pytest.raises(ValueError):
+        net.start_transfer(["l0"], -1.0)
+
+
+def test_two_flows_share_fairly():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    f1 = net.start_transfer(["l0"], 1000.0)
+    f2 = net.start_transfer(["l0"], 1000.0)
+    assert f1.rate == pytest.approx(50.0)
+    assert f2.rate == pytest.approx(50.0)
+    eng.run()
+    # Both finish at t=20 (each gets 50 B/s throughout).
+    assert eng.now == pytest.approx(20.0)
+
+
+def test_short_flow_departure_speeds_up_long_flow():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    f_short = net.start_transfer(["l0"], 500.0)
+    f_long = net.start_transfer(["l0"], 1500.0)
+    done_times = {}
+    f_short.done.callbacks.append(lambda ev: done_times.__setitem__("short", eng.now))
+    f_long.done.callbacks.append(lambda ev: done_times.__setitem__("long", eng.now))
+    eng.run()
+    # Short: 500B at 50B/s -> t=10.  Long: 500B by t=10, then 1000B at
+    # 100B/s -> t=20.
+    assert done_times["short"] == pytest.approx(10.0)
+    assert done_times["long"] == pytest.approx(20.0)
+
+
+def test_multilink_route_bottleneck():
+    eng = Engine()
+    net = Network(eng)
+    net.add_link("fat", 1000.0)
+    net.add_link("thin", 10.0)
+    flow = net.start_transfer(["fat", "thin"], 100.0)
+    assert flow.rate == pytest.approx(10.0)
+    eng.run()
+    assert eng.now == pytest.approx(10.0)
+
+
+def test_maxmin_unequal_routes():
+    """Flow A uses a contended link, flow B a private one: B gets the
+    leftover capacity of its own link."""
+    eng = Engine()
+    net = Network(eng)
+    net.add_link("shared", 100.0)
+    net.add_link("private", 100.0)
+    a1 = net.start_transfer(["shared"], 1e6)
+    a2 = net.start_transfer(["shared", "private"], 1e6)
+    b = net.start_transfer(["private"], 1e6)
+    # shared: a1, a2 -> 50 each.  private: a2 capped at 50, b gets 50.
+    assert a1.rate == pytest.approx(50.0)
+    assert a2.rate == pytest.approx(50.0)
+    assert b.rate == pytest.approx(50.0)
+
+
+def test_interrupt_link_stalls_flow():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    flow = net.start_transfer(["l0"], 1000.0)
+    eng.run(until=5.0)
+    net.interrupt_link("l0")
+    assert flow.rate == 0.0
+    eng.run(until=50.0)
+    assert not flow.done.triggered  # stalled, not failed
+    net.restore_link("l0")
+    eng.run(until=100.0)
+    assert flow.done.ok
+    # 500B moved before the cut, 500B after restore at t=50: done at 55.
+    assert flow.remaining == pytest.approx(0.0, abs=1e-6)
+
+
+def test_interrupt_link_kill_flows():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    flow = net.start_transfer(["l0"], 1000.0)
+    failures = []
+
+    def watcher():
+        try:
+            yield flow.done
+        except NetworkInterruptionError as exc:
+            failures.append(str(exc))
+
+    eng.process(watcher())
+    eng.run(until=2.0)
+    net.interrupt_link("l0", kill_flows=True)
+    eng.run(until=10.0)
+    assert failures and "interrupted" in failures[0]
+    assert net.active_flows == []
+
+
+def test_kill_flow_idempotent():
+    eng = Engine()
+    net = make_net(eng, 1)
+    flow = net.start_transfer(["l0"], 100.0)
+    flow.done.defuse()
+    net.kill_flow(flow)
+    net.kill_flow(flow)  # second call is a no-op
+    eng.run()
+
+
+def test_flow_progress_tracking():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    flow = net.start_transfer(["l0"], 1000.0)
+    eng.run(until=4.0)
+    # Trigger a recompute so progress is exact.
+    net.set_link_bandwidth("l0", 100.0)
+    assert flow.transferred == pytest.approx(400.0)
+    assert flow.eta() == pytest.approx(6.0)
+
+
+def test_completion_observer_fires():
+    eng = Engine()
+    net = make_net(eng, 1, bw=100.0)
+    seen = []
+    net.on_flow_complete.append(lambda f: seen.append(f.label))
+    net.start_transfer(["l0"], 100.0, label="demo")
+    eng.run()
+    assert seen == ["demo"]
+
+
+def test_many_concurrent_flows_conserve_bytes():
+    eng = Engine()
+    net = Network(eng)
+    for i in range(4):
+        net.add_link(f"up{i}", 100.0)
+        net.add_link(f"down{i}", 100.0)
+    sizes = [100.0 * (i + 1) for i in range(12)]
+    for i, size in enumerate(sizes):
+        net.start_transfer([f"up{i % 4}", f"down{(i + 1) % 4}"], size)
+    eng.run()
+    assert net.total_bytes_delivered == pytest.approx(sum(sizes))
+    assert net.active_flows == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=10),
+    bw=st.floats(min_value=1.0, max_value=1e3),
+)
+def test_property_all_flows_complete_and_conserve(sizes, bw):
+    """Property: every flow on a single shared link completes, total bytes
+    delivered equals total offered, and completion order is by size."""
+    eng = Engine()
+    net = Network(eng)
+    net.add_link("l", bw)
+    order = []
+    for i, size in enumerate(sizes):
+        flow = net.start_transfer(["l"], size)
+        flow.done.callbacks.append(lambda ev, i=i: order.append(i))
+    eng.run()
+    assert net.total_bytes_delivered == pytest.approx(sum(sizes), rel=1e-6)
+    # Processor-sharing on one link finishes smaller flows first (up to
+    # completion-threshold ties between near-equal sizes).
+    assert sorted(order) == list(range(len(sizes)))
+    finished_sizes = [sizes[i] for i in order]
+    for earlier, later in zip(finished_sizes, finished_sizes[1:]):
+        assert earlier <= later * (1 + 1e-6) + 1e-5
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_flows=st.integers(min_value=1, max_value=8),
+    caps=st.lists(st.floats(min_value=10.0, max_value=1000.0), min_size=2, max_size=2),
+)
+def test_property_maxmin_never_exceeds_capacity(n_flows, caps):
+    """Property: the sum of allocated rates on any link never exceeds its
+    capacity."""
+    eng = Engine()
+    net = Network(eng)
+    net.add_link("a", caps[0])
+    net.add_link("b", caps[1])
+    routes = [["a"], ["b"], ["a", "b"]]
+    for i in range(n_flows):
+        net.start_transfer(routes[i % 3], 1e9)
+    for link in net.links.values():
+        total = sum(f.rate for f in link.flows)
+        assert total <= link.bandwidth * (1 + 1e-9)

@@ -1,0 +1,177 @@
+"""Tests for storage elements, reservations, and the disk-full failure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageFullError
+from repro.fabric import FileObject, StorageElement
+from repro.sim import Engine, GB
+
+
+def make_se(capacity=10 * GB):
+    return StorageElement(Engine(), "test-se", capacity)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        StorageElement(Engine(), "bad", 0)
+
+
+def test_file_object_validation():
+    with pytest.raises(ValueError):
+        FileObject("f", -1.0)
+
+
+def test_store_and_lookup():
+    se = make_se()
+    obj = se.store("lfn://atlas/evt.root", 2 * GB)
+    assert obj.size == 2 * GB
+    assert "lfn://atlas/evt.root" in se
+    assert se.lookup("lfn://atlas/evt.root") is obj
+    assert se.used == 2 * GB
+    assert len(se) == 1
+
+
+def test_store_negative_size_rejected():
+    se = make_se()
+    with pytest.raises(ValueError):
+        se.store("f", -1.0)
+
+
+def test_disk_full_raises_and_counts():
+    se = make_se(capacity=3 * GB)
+    se.store("a", 2 * GB)
+    with pytest.raises(StorageFullError):
+        se.store("b", 2 * GB)
+    assert se.write_failures == 1
+    assert se.used == 2 * GB  # failed write left no residue
+
+
+def test_overwrite_adjusts_usage():
+    se = make_se()
+    se.store("f", 4 * GB)
+    se.store("f", 1 * GB)
+    assert se.used == 1 * GB
+    assert len(se) == 1
+
+
+def test_overwrite_larger_fits_when_replacing():
+    se = make_se(capacity=5 * GB)
+    se.store("f", 4 * GB)
+    # 4.5 GB doesn't fit alongside, but replaces the 4 GB file.
+    se.store("f", 4.5 * GB)
+    assert se.used == 4.5 * GB
+
+
+def test_delete_frees_space():
+    se = make_se()
+    se.store("f", 2 * GB)
+    se.delete("f")
+    assert se.used == 0
+    assert "f" not in se
+    assert se.bytes_deleted == 2 * GB
+    with pytest.raises(KeyError):
+        se.delete("f")
+
+
+def test_purge_frees_fraction():
+    se = make_se(capacity=100 * GB)
+    for i in range(10):
+        se.store(f"f{i}", 1 * GB)
+    freed = se.purge(fraction=0.5)
+    assert freed >= 5 * GB
+    assert se.used <= 5 * GB
+
+
+def test_utilisation():
+    se = make_se(capacity=10 * GB)
+    se.store("f", 5 * GB)
+    assert se.utilisation == pytest.approx(0.5)
+
+
+def test_reservation_protects_space():
+    se = make_se(capacity=10 * GB)
+    res = se.reserve(6 * GB)
+    assert se.reserved == 6 * GB
+    assert se.free == 4 * GB
+    # Unreserved writes can't take reserved space.
+    with pytest.raises(StorageFullError):
+        se.store("big", 5 * GB)
+    # Reserved write succeeds.
+    se.store("mine", 5 * GB, reservation=res)
+    assert res.available == pytest.approx(1 * GB)
+    assert se.used == 5 * GB
+
+
+def test_reservation_overdraw_rejected():
+    se = make_se(capacity=10 * GB)
+    res = se.reserve(2 * GB)
+    with pytest.raises(StorageFullError):
+        se.store("f", 3 * GB, reservation=res)
+
+
+def test_reserve_more_than_free_rejected():
+    se = make_se(capacity=10 * GB)
+    se.store("f", 8 * GB)
+    with pytest.raises(StorageFullError):
+        se.reserve(3 * GB)
+
+
+def test_release_reservation_returns_unused():
+    se = make_se(capacity=10 * GB)
+    res = se.reserve(6 * GB)
+    se.store("f", 2 * GB, reservation=res)
+    se.release_reservation(res)
+    assert se.reserved == pytest.approx(0.0)
+    assert se.free == pytest.approx(8 * GB)
+    # Releasing twice is harmless.
+    se.release_reservation(res)
+    # Using a released reservation fails.
+    with pytest.raises(StorageFullError):
+        se.store("g", 1 * GB, reservation=res)
+
+
+def test_reservation_wrong_se_rejected():
+    se1, se2 = make_se(), make_se()
+    res = se1.reserve(1 * GB)
+    with pytest.raises(ValueError):
+        se2.store("f", 1.0, reservation=res)
+
+
+def test_negative_reservation_rejected():
+    with pytest.raises(ValueError):
+        make_se().reserve(-1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["store", "delete", "reserve", "release"]),
+            st.integers(min_value=0, max_value=9),
+            st.floats(min_value=0.0, max_value=6.0),
+        ),
+        max_size=60,
+    )
+)
+def test_property_accounting_invariant(ops):
+    """Property: used + reserved <= capacity and used == sum of file
+    sizes, no matter the operation sequence."""
+    se = StorageElement(Engine(), "prop-se", 10.0)
+    reservations = []
+    for op, idx, amount in ops:
+        try:
+            if op == "store":
+                se.store(f"f{idx}", amount)
+            elif op == "delete":
+                se.delete(f"f{idx}")
+            elif op == "reserve":
+                reservations.append(se.reserve(amount))
+            elif op == "release" and reservations:
+                se.release_reservation(reservations.pop())
+        except (StorageFullError, KeyError):
+            pass
+        assert se.used + se.reserved <= se.capacity + 1e-6
+        assert se.used == pytest.approx(sum(f.size for f in se.files()))
+        assert se.free >= -1e-6

@@ -1,0 +1,108 @@
+"""Tests for the regional WAN backbone."""
+
+import pytest
+
+from repro.fabric import Network, build_sites, scaled_catalog
+from repro.fabric.topology import (
+    DEFAULT_TRUNK_BANDWIDTH,
+    REGIONS,
+    SITE_REGION,
+    backbone_route,
+    trunk_name,
+    wire_backbone,
+)
+from repro.middleware.gridftp import attach_gridftp, transfer
+from repro.sim import Engine, GB
+
+
+def test_every_catalog_site_has_a_region():
+    from repro.fabric import GRID3_SITES
+    assert {s.name for s in GRID3_SITES} <= set(SITE_REGION)
+    assert set(SITE_REGION.values()) <= set(REGIONS)
+
+
+def test_trunk_name_canonical():
+    assert trunk_name("west", "east") == trunk_name("east", "west") == "bb-east-west"
+
+
+def test_backbone_route_logic():
+    assert backbone_route("east", "west") == ["bb-east-west"]
+    assert backbone_route("east", "east") == []
+    assert backbone_route(None, "west") == []
+    assert backbone_route("east", None) == []
+
+
+def build_wired(eng, scale=100.0):
+    net = Network(eng)
+    sites = build_sites(eng, net, scaled_catalog(scale))
+    trunks = wire_backbone(net, sites.values())
+    return net, sites, trunks
+
+
+def test_wire_backbone_creates_full_mesh(eng):
+    net, sites, trunks = build_wired(eng)
+    n = len(REGIONS)
+    assert len(trunks) == n * (n - 1) // 2
+    assert all(net.links[t].bandwidth == DEFAULT_TRUNK_BANDWIDTH for t in trunks)
+    assert net.backbone_enabled
+    # Sites were tagged.
+    assert sites["BNL_ATLAS"].region == "east"
+    assert sites["CalTech_PG"].region == "west"
+    # Re-wiring is idempotent (no duplicate links).
+    assert wire_backbone(net, sites.values()) == []
+
+
+def test_inter_region_route_crosses_trunk(eng):
+    _net, sites, _trunks = build_wired(eng)
+    route = sites["BNL_ATLAS"].route_to(sites["CalTech_PG"])
+    assert route == ["BNL_ATLAS-up", "bb-east-west", "CalTech_PG-down"]
+    # Intra-region routes stay edge-only.
+    route2 = sites["BNL_ATLAS"].route_to(sites["BU_ATLAS"])
+    assert route2 == ["BNL_ATLAS-up", "BU_ATLAS-down"]
+
+
+def test_without_backbone_routes_are_flat(eng):
+    net = Network(eng)
+    sites = build_sites(eng, net, scaled_catalog(100.0))
+    route = sites["BNL_ATLAS"].route_to(sites["CalTech_PG"])
+    assert route == ["BNL_ATLAS-up", "CalTech_PG-down"]
+
+
+def test_trunk_congestion_affects_cross_region_only(eng):
+    """Shrink the east-west trunk: coast-to-coast transfers slow down,
+    intra-region transfers do not."""
+    net, sites, _ = build_wired(eng)
+    for name in ("BNL_ATLAS", "CalTech_PG", "BU_ATLAS"):
+        attach_gridftp(eng, sites[name], setup_latency=0.0)
+    # Tiny trunk: 1 MB/s.
+    net.set_link_bandwidth("bb-east-west", 1e6)
+    done = {}
+
+    def mover(tag, src, dst):
+        yield from transfer(eng, sites[src], sites[dst], f"/{tag}", 1 * GB)
+        done[tag] = eng.now
+
+    eng.process(mover("cross", "BNL_ATLAS", "CalTech_PG"))
+    eng.process(mover("local", "BNL_ATLAS", "BU_ATLAS"))
+    eng.run()
+    assert done["local"] < 200.0            # edge speed (~12.5-125 MB/s)
+    assert done["cross"] == pytest.approx(1000.0, rel=0.05)  # trunk-bound
+
+
+def test_trunk_shared_by_concurrent_cross_region_flows(eng):
+    net, sites, _ = build_wired(eng)
+    for name in ("BNL_ATLAS", "JHU_SDSS", "CalTech_PG", "UCSD_PG"):
+        attach_gridftp(eng, sites[name], setup_latency=0.0)
+    net.set_link_bandwidth("bb-east-west", 2e6)
+    done = {}
+
+    def mover(tag, src, dst):
+        yield from transfer(eng, sites[src], sites[dst], f"/{tag}", 1 * GB)
+        done[tag] = eng.now
+
+    eng.process(mover("a", "BNL_ATLAS", "CalTech_PG"))
+    eng.process(mover("b", "JHU_SDSS", "UCSD_PG"))
+    eng.run()
+    # Two flows share the 2 MB/s trunk: each effectively 1 MB/s.
+    assert done["a"] == pytest.approx(1000.0, rel=0.05)
+    assert done["b"] == pytest.approx(1000.0, rel=0.05)

@@ -1,0 +1,117 @@
+"""Tests for time-varying failure schedules (the stabilisation arc)."""
+
+import pytest
+
+from repro.core.job import Job, JobSpec
+from repro.failures import FailureInjector, FailureProfile, FailureSchedule
+from repro.sim import DAY, HOUR, RngRegistry
+
+from ..conftest import make_site, wire_site
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        FailureSchedule([])
+    with pytest.raises(ValueError):
+        FailureSchedule([(5.0, FailureProfile())])  # no era at t=0
+
+
+def test_schedule_at_and_next_switch():
+    early = FailureProfile.early()
+    calm = FailureProfile.calm()
+    schedule = FailureSchedule([(0.0, early), (10 * DAY, calm)])
+    assert schedule.at(0.0) is early
+    assert schedule.at(9.99 * DAY) is early
+    assert schedule.at(10 * DAY) is calm
+    assert schedule.at(100 * DAY) is calm
+    assert schedule.next_switch_after(0.0) == 10 * DAY
+    assert schedule.next_switch_after(10 * DAY) is None
+
+
+def test_schedule_accepts_unsorted_eras():
+    schedule = FailureSchedule([
+        (10 * DAY, FailureProfile.calm()),
+        (0.0, FailureProfile.early()),
+    ])
+    assert schedule.at(0.0).service_failure_interval == \
+        FailureProfile.early().service_failure_interval
+
+
+def test_paper_timeline_factory():
+    schedule = FailureSchedule.paper_timeline(stabilize_day=50)
+    early = schedule.at(0.0)
+    calm = schedule.at(60 * DAY)
+    assert early.service_failure_interval < calm.service_failure_interval
+    assert early.node_mtbf < calm.node_mtbf
+
+
+def test_early_profile_harsher_than_default():
+    early = FailureProfile.early()
+    default = FailureProfile()
+    assert early.service_failure_interval < default.service_failure_interval
+    assert early.node_mtbf < default.node_mtbf
+    assert early.nightly_rollover["UB_ACDC"] > default.nightly_rollover["UB_ACDC"]
+
+
+def test_injector_rates_follow_the_schedule(eng, net, rng):
+    """Injection density drops sharply after the era switch."""
+    site = make_site(eng, net, "SiteA", cpus=8)
+    wire_site(eng, site, [])
+    noisy = FailureProfile(
+        service_failure_interval=6 * HOUR,
+        network_interruption_interval=None,
+        node_mtbf=None,
+        nightly_rollover={},
+    )
+    quiet = FailureProfile(
+        service_failure_interval=100 * DAY,
+        network_interruption_interval=None,
+        node_mtbf=None,
+        nightly_rollover={},
+    )
+    schedule = FailureSchedule([(0.0, noisy), (10 * DAY, quiet)])
+    injector = FailureInjector(eng, [site], rng, schedule)
+    eng.run(until=10 * DAY)
+    first_era = injector.injected["service"]
+    eng.run(until=20 * DAY)
+    second_era = injector.injected["service"] - first_era
+    assert first_era >= 15      # ~40 expected in 10 days at 6 h
+    assert second_era <= 3      # near-zero in the quiet era
+
+
+def test_injector_class_disabled_in_one_era(eng, net, rng):
+    """A class off in era 1 but on in era 2 starts firing after the
+    switch (the loop sleeps through the disabled era)."""
+    site = make_site(eng, net, "SiteA", cpus=4)
+    wire_site(eng, site, [])
+    off = FailureProfile(
+        service_failure_interval=None,
+        network_interruption_interval=None,
+        node_mtbf=None, nightly_rollover={},
+    )
+    on = FailureProfile(
+        service_failure_interval=None,
+        network_interruption_interval=4 * HOUR,
+        node_mtbf=None, nightly_rollover={},
+    )
+    injector = FailureInjector(eng, [site], rng, FailureSchedule([
+        (0.0, off), (5 * DAY, on),
+    ]))
+    # Strictly inside era 1 (the loop's wake lands exactly on the
+    # boundary, which already belongs to era 2).
+    eng.run(until=5 * DAY - 1)
+    assert injector.injected["network"] == 0
+    eng.run(until=10 * DAY)
+    assert injector.injected["network"] >= 10
+
+
+def test_grid3_accepts_schedule():
+    from repro import Grid3, Grid3Config
+    grid = Grid3(Grid3Config(
+        seed=4, scale=600, duration_days=6, apps=["exerciser"],
+        failures=FailureSchedule.paper_timeline(stabilize_day=3),
+    ))
+    grid.run_full()
+    assert grid.injector.schedule.at(0.0).service_failure_interval == \
+        FailureProfile.early().service_failure_interval
+    assert len(grid.acdc_db) > 0

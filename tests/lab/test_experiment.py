@@ -1,0 +1,91 @@
+"""Tests for the experiment harness (the §1 'CS laboratory' role)."""
+
+import pytest
+
+from repro.failures import FailureProfile
+from repro.lab import (
+    ExperimentResult,
+    ExperimentSpec,
+    render_results,
+    run_experiment,
+    sweep,
+)
+
+BASE = dict(
+    scale=800, duration_days=3, apps=["exerciser"],
+    misconfig_probability=0.0, ops_team=False, local_load=False,
+)
+METRICS = {
+    "success": lambda grid: grid.acdc_db.success_rate(),
+    "records": lambda grid: float(len(grid.acdc_db)),
+}
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ExperimentSpec("x", BASE, {}, METRICS)
+    with pytest.raises(ValueError):
+        ExperimentSpec("x", BASE, {"a": {}}, {})
+    with pytest.raises(ValueError):
+        ExperimentSpec("x", BASE, {"a": {}}, METRICS, repeats=0)
+
+
+def test_run_experiment_two_variants():
+    spec = ExperimentSpec(
+        name="failure-sensitivity",
+        base=BASE,
+        variants={
+            "clean": dict(failures=FailureProfile.disabled()),
+            "noisy": dict(failures=FailureProfile.early()),
+        },
+        metrics=METRICS,
+        repeats=2,
+    )
+    progress = []
+    results = run_experiment(spec, progress=progress.append)
+    assert len(results) == 2
+    assert len(progress) == 4   # 2 variants x 2 repeats
+    by_name = {r.variant: r for r in results}
+    clean, noisy = by_name["clean"], by_name["noisy"]
+    assert clean.repeats == 2
+    assert len(clean.samples["success"]) == 2
+    # The clean variant can't do worse than the noisy one.
+    assert clean.mean("success") >= noisy.mean("success")
+    assert clean.std("success") >= 0.0
+    lo, hi = clean.minmax("records")
+    assert lo <= hi
+
+
+def test_repeats_use_distinct_seeds():
+    spec = ExperimentSpec(
+        name="seeds", base=BASE,
+        variants={"only": dict()},
+        metrics={"records": lambda g: float(len(g.acdc_db))},
+        repeats=3, seed0=7,
+    )
+    result = run_experiment(spec)[0]
+    # Different seeds -> not all repeats identical (probe runtimes vary).
+    assert len(result.samples["records"]) == 3
+
+
+def test_sweep_builds_variant_per_value():
+    results = sweep(
+        "misconfig-sweep", BASE, "misconfig_probability", [0.0, 0.9],
+        metrics={"success": lambda g: g.acdc_db.success_rate()},
+    )
+    assert len(results) == 2
+    clean = next(r for r in results if "0.0" in r.variant)
+    broken = next(r for r in results if "0.9" in r.variant)
+    assert clean.mean("success") > broken.mean("success")
+
+
+def test_render_results_table():
+    results = [
+        ExperimentResult("a", 2, {"m": (1.0, 3.0)}),
+        ExperimentResult("b", 1, {"m": (5.0,)}),
+    ]
+    text = render_results(results)
+    assert "variant" in text and "m" in text
+    assert "2±1" in text    # mean 2, std 1
+    assert "5" in text
+    assert render_results([]) == "(no results)"

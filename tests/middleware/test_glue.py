@@ -1,0 +1,98 @@
+"""Tests for GLUE schema validation of published site records."""
+
+import pytest
+
+from repro.middleware.glue import ENUMS, GLUE_SCHEMA, validate_giis, validate_record
+from repro.middleware.mds import GIIS, GRIS, glue_record
+
+from ..conftest import make_site, wire_site
+
+
+_counter = [0]
+
+
+def good_record(eng, net):
+    _counter[0] += 1
+    site = make_site(eng, net, f"Site{_counter[0]}")
+    wire_site(eng, site, [])
+    return glue_record(site)
+
+
+def test_live_records_conform(eng, net):
+    """Every record our own GRIS publishes passes the conventions."""
+    record = good_record(eng, net)
+    assert validate_record(record) == []
+
+
+def test_missing_required_attribute(eng, net):
+    record = good_record(eng, net)
+    del record["grid3_app_dir"]
+    problems = validate_record(record)
+    assert any("grid3_app_dir" in p and "missing" in p for p in problems)
+
+
+def test_optional_attribute_may_be_absent(eng, net):
+    record = good_record(eng, net)
+    del record["queue_length"]
+    assert validate_record(record) == []
+
+
+def test_type_mismatch_detected(eng, net):
+    record = good_record(eng, net)
+    record["total_cpus"] = "many"
+    record["outbound_connectivity"] = "yes"
+    problems = validate_record(record)
+    assert len(problems) == 2
+
+
+def test_bool_is_not_an_int(eng, net):
+    record = good_record(eng, net)
+    record["total_cpus"] = True
+    assert validate_record(record)
+
+
+def test_enum_violation(eng, net):
+    record = good_record(eng, net)
+    record["batch_system"] = "slurm"   # anachronism!
+    record["status"] = "meltdown"
+    problems = validate_record(record)
+    assert sum("not in" in p for p in problems) == 2
+
+
+def test_consistency_constraints(eng, net):
+    record = good_record(eng, net)
+    record["free_cpus"] = record["total_cpus"]
+    record["busy_cpus"] = 2
+    problems = validate_record(record)
+    assert any("exceeds total_cpus" in p for p in problems)
+    record2 = good_record(eng, net)
+    record2["se_free"] = record2["se_capacity"] + 1
+    assert any("se_free" in p for p in validate_record(record2))
+
+
+def test_relative_path_convention(eng, net):
+    record = good_record(eng, net)
+    record["grid3_tmp_dir"] = "grid3/tmp"
+    assert any("absolute path" in p for p in validate_record(record))
+
+
+def test_validate_giis_flags_only_problem_sites(eng, net):
+    good = make_site(eng, net, "Good")
+    wire_site(eng, good, [])
+    bad = make_site(eng, net, "Bad")
+    wire_site(eng, bad, [])
+    bad.config.app_dir = "relative/path"   # violates the convention
+    giis = GIIS(eng, "g")
+    giis.register("Good", GRIS(eng, good, ttl=0.0))
+    giis.register("Bad", GRIS(eng, bad, ttl=0.0))
+    report = validate_giis(giis)
+    assert set(report) == {"Bad"}
+    assert any("absolute path" in p for p in report["Bad"])
+
+
+def test_schema_covers_the_grid3_extensions():
+    """§5.1's 'few extensions': app dir, tmp dir, SE locations, VDT
+    location are all schema'd and required."""
+    for attr in ("grid3_app_dir", "grid3_tmp_dir", "grid3_data_dir",
+                 "grid3_vdt_location"):
+        assert GLUE_SCHEMA[attr][1] is True

@@ -1,0 +1,196 @@
+"""Tests for the MDS GRIS/GIIS hierarchy and the RLS replica service."""
+
+import pytest
+
+from repro.errors import ReplicaNotFoundError, ServiceUnavailableError
+from repro.fabric import Network
+from repro.middleware.mds import GIIS, GRIS, build_mds_hierarchy, glue_record, renew_registrations
+from repro.middleware.rls import LocalReplicaCatalog, ReplicaLocationIndex
+from repro.sim import Engine, GB, MINUTE
+
+from ..conftest import make_site
+
+
+# --- MDS -----------------------------------------------------------------
+
+def test_glue_record_contains_grid3_extensions(eng, net):
+    site = make_site(eng, net, "SiteA")
+    rec = glue_record(site)
+    assert rec["site"] == "SiteA"
+    assert rec["grid3_app_dir"] == "/grid3/app"
+    assert rec["grid3_tmp_dir"] == "/grid3/tmp"
+    assert "outbound_connectivity" in rec
+    assert rec["total_cpus"] == site.cluster.total_cpus
+
+
+def test_gris_caches_within_ttl(eng, net):
+    site = make_site(eng, net, "SiteA")
+    gris = GRIS(eng, site, ttl=5 * MINUTE)
+    rec1 = gris.query()
+    assert rec1["free_cpus"] == 4
+    site.cluster.allocate("job")  # state changes...
+    rec2 = gris.query()
+    assert rec2["free_cpus"] == 4  # ...but the cache hasn't expired
+    eng.run(until=6 * MINUTE)
+    rec3 = gris.query()
+    assert rec3["free_cpus"] == 3  # fresh after TTL
+    assert gris.queries_served == 3
+
+
+def test_gris_invalidate_forces_refresh(eng, net):
+    site = make_site(eng, net, "SiteA")
+    gris = GRIS(eng, site)
+    gris.query()
+    site.cluster.allocate("job")
+    gris.invalidate()
+    assert gris.query()["free_cpus"] == 3
+
+
+def test_gris_down_raises(eng, net):
+    site = make_site(eng, net, "SiteA")
+    gris = GRIS(eng, site)
+    gris.available = False
+    with pytest.raises(ServiceUnavailableError):
+        gris.query()
+
+
+def test_giis_registration_and_query(eng, net):
+    site = make_site(eng, net, "SiteA")
+    gris = GRIS(eng, site)
+    giis = GIIS(eng, "giis-test")
+    giis.register("SiteA", gris)
+    assert giis.registered_names() == ["SiteA"]
+    assert giis.query("SiteA")["site"] == "SiteA"
+    with pytest.raises(KeyError):
+        giis.query("Unknown")
+
+
+def test_giis_registrations_expire(eng, net):
+    site = make_site(eng, net, "SiteA")
+    gris = GRIS(eng, site)
+    giis = GIIS(eng, "giis-test", registration_ttl=10 * MINUTE)
+    giis.register("SiteA", gris)
+    eng.run(until=11 * MINUTE)
+    assert giis.registered_names() == []
+    with pytest.raises(KeyError):
+        giis.query("SiteA")
+    # Renewal brings it back.
+    giis.register("SiteA", gris)
+    assert giis.registered_names() == ["SiteA"]
+
+
+def test_giis_query_all_skips_dead_gris(eng, net):
+    a, b = make_site(eng, net, "A"), make_site(eng, net, "B")
+    gris_a, gris_b = GRIS(eng, a), GRIS(eng, b)
+    gris_b.available = False
+    giis = GIIS(eng, "g")
+    giis.register("A", gris_a)
+    giis.register("B", gris_b)
+    records = giis.query_all()
+    assert [r["site"] for r in records] == ["A"]
+
+
+def test_giis_search_predicate(eng, net):
+    a = make_site(eng, net, "A", cpus=8)
+    b = make_site(eng, net, "B", cpus=2)
+    giis = GIIS(eng, "g")
+    giis.register("A", GRIS(eng, a))
+    giis.register("B", GRIS(eng, b))
+    big = giis.search(lambda r: r["total_cpus"] >= 8)
+    assert [r["site"] for r in big] == ["A"]
+
+
+def test_build_mds_hierarchy(eng, net):
+    sites = [make_site(eng, net, f"S{i}", vo="usatlas" if i < 2 else "uscms") for i in range(4)]
+    mds = build_mds_hierarchy(eng, sites, ["usatlas", "uscms"])
+    assert len(mds["top"].registered_names()) == 4
+    assert mds["vo_giis"]["usatlas"].registered_names() == ["S0", "S1"]
+    # Every site got a gris service attached.
+    assert all(isinstance(s.service("gris"), GRIS) for s in sites)
+
+
+def test_renew_registrations_keeps_live_sites(eng, net):
+    sites = [make_site(eng, net, f"S{i}") for i in range(2)]
+    mds = build_mds_hierarchy(eng, sites, ["usatlas"])
+    sites[1].status = "offline"
+    eng.run(until=31 * MINUTE)  # past the default TTL
+    assert mds["top"].registered_names() == []
+    renew_registrations(mds)
+    assert mds["top"].registered_names() == ["S0"]  # offline site aged out
+
+
+# --- RLS -----------------------------------------------------------------
+
+def test_lrc_add_lookup_remove():
+    lrc = LocalReplicaCatalog("SiteA")
+    replica = lrc.add("/atlas/evt001", 2 * GB)
+    assert replica.pfn == "gsiftp://SiteA/atlas/evt001"
+    assert "/atlas/evt001" in lrc
+    assert lrc.lookup("/atlas/evt001").size == 2 * GB
+    lrc.remove("/atlas/evt001")
+    with pytest.raises(ReplicaNotFoundError):
+        lrc.lookup("/atlas/evt001")
+    assert lrc.lfns() == []
+
+
+def test_lrc_down(eng):
+    lrc = LocalReplicaCatalog("SiteA")
+    lrc.add("f", 1.0)
+    lrc.available = False
+    with pytest.raises(ServiceUnavailableError):
+        lrc.lookup("f")
+
+
+def test_rli_register_and_locate(eng):
+    rli = ReplicaLocationIndex(eng)
+    for name in ("A", "B"):
+        rli.attach_lrc(LocalReplicaCatalog(name))
+    rli.register("A", "/lfn/x", 1 * GB)
+    rli.register("B", "/lfn/x", 1 * GB)
+    assert rli.sites_with("/lfn/x") == ["A", "B"]
+    assert {r.site for r in rli.locate("/lfn/x")} == {"A", "B"}
+    assert rli.registrations == 2
+
+
+def test_rli_unregister_cleans_index(eng):
+    rli = ReplicaLocationIndex(eng)
+    rli.attach_lrc(LocalReplicaCatalog("A"))
+    rli.register("A", "/lfn/x", 1.0)
+    rli.unregister("A", "/lfn/x")
+    assert rli.sites_with("/lfn/x") == []
+    assert rli.catalogued_lfns() == []
+    with pytest.raises(ReplicaNotFoundError):
+        rli.locate("/lfn/x")
+
+
+def test_rli_best_replica_prefers_sites(eng):
+    rli = ReplicaLocationIndex(eng)
+    for name in ("A", "B", "C"):
+        rli.attach_lrc(LocalReplicaCatalog(name))
+    rli.register("A", "/lfn/x", 1.0)
+    rli.register("C", "/lfn/x", 1.0)
+    assert rli.best_replica("/lfn/x", prefer_sites=["B", "C", "A"]).site == "C"
+    assert rli.best_replica("/lfn/x").site == "A"  # default: first sorted
+
+
+def test_rli_down(eng):
+    rli = ReplicaLocationIndex(eng)
+    rli.available = False
+    with pytest.raises(ServiceUnavailableError):
+        rli.sites_with("/x")
+    with pytest.raises(ServiceUnavailableError):
+        rli.register("A", "/x", 1.0)
+
+
+def test_rli_locate_skips_dead_lrc(eng):
+    rli = ReplicaLocationIndex(eng)
+    a, b = LocalReplicaCatalog("A"), LocalReplicaCatalog("B")
+    rli.attach_lrc(a)
+    rli.attach_lrc(b)
+    rli.register("A", "/x", 1.0)
+    rli.register("B", "/x", 1.0)
+    a.available = False
+    assert [r.site for r in rli.locate("/x")] == ["B"]
+    b.available = False
+    with pytest.raises(ReplicaNotFoundError):
+        rli.locate("/x")

@@ -1,0 +1,72 @@
+"""Property tests for NetLogger lifeline reconstruction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.gridftp import NetLoggerEvent
+from repro.middleware.netlogger import compute_statistics, reconstruct_lifelines
+
+
+@st.composite
+def event_streams(draw):
+    """Random but causally-plausible event streams: every end/error is
+    preceded by a matching start; some starts never terminate."""
+    events = []
+    clock = 0.0
+    open_counts = {}
+    n_ops = draw(st.integers(min_value=0, max_value=40))
+    for _ in range(n_ops):
+        clock += draw(st.floats(min_value=0.1, max_value=10.0))
+        lfn = f"/f{draw(st.integers(min_value=0, max_value=4))}"
+        openable = open_counts.get(lfn, 0) > 0
+        action = draw(st.sampled_from(
+            ["start", "end", "error"] if openable else ["start"]
+        ))
+        if action == "start":
+            events.append(NetLoggerEvent(clock, "transfer.start", "h", lfn, 100.0))
+            open_counts[lfn] = open_counts.get(lfn, 0) + 1
+        else:
+            events.append(
+                NetLoggerEvent(clock, f"transfer.{action}", "h", lfn, 100.0)
+            )
+            open_counts[lfn] -= 1
+    return events, open_counts
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=event_streams())
+def test_property_lifeline_accounting(stream):
+    """Lifeline counts conserve the event stream: one lifeline per
+    start; terminated = ends+errors; the rest in-flight; durations
+    non-negative."""
+    events, open_counts = stream
+    starts = sum(1 for e in events if e.event == "transfer.start")
+    ends = sum(1 for e in events if e.event == "transfer.end")
+    errors = sum(1 for e in events if e.event == "transfer.error")
+
+    lifelines = reconstruct_lifelines(events)
+    assert len(lifelines) == starts
+    stats = compute_statistics(lifelines)
+    assert stats.ok == ends
+    assert stats.errors == errors
+    assert stats.in_flight == sum(open_counts.values())
+    for lifeline in lifelines:
+        if lifeline.outcome != "in-flight":
+            assert lifeline.duration >= 0
+            assert lifeline.ended_at >= lifeline.started_at
+    # Reliability is a proper fraction.
+    assert 0.0 <= stats.reliability <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=event_streams())
+def test_property_reconstruction_order_independent_of_ties(stream):
+    """Reconstruction sorts by time, so pre-shuffled input with unique
+    timestamps reconstructs identically."""
+    events, _open = stream
+    import random as _random
+    shuffled = list(events)
+    _random.Random(0).shuffle(shuffled)
+    a = reconstruct_lifelines(events)
+    b = reconstruct_lifelines(shuffled)
+    assert a == b

@@ -1,0 +1,212 @@
+"""Tests for Ganglia, MonALISA, ACDC and the Site Status Catalog."""
+
+import pytest
+
+from repro.core.job import Job, JobSpec
+from repro.errors import StorageFullError
+from repro.monitoring.acdc import ACDCDatabase, ACDCJobMonitor, JobRecord
+from repro.monitoring.ganglia import GangliaAgent, GangliaWeb
+from repro.monitoring.monalisa import MonALISAAgent, MonALISARepository
+from repro.monitoring.sitecatalog import SiteStatusCatalog, probe_site
+from repro.scheduling.batch import BatchScheduler
+from repro.sim import GB, HOUR, MINUTE
+
+from ..conftest import make_site, wire_site
+
+
+def spec(name="j", vo="usatlas", runtime=HOUR):
+    return JobSpec(name=name, vo=vo, user="alice", runtime=runtime,
+                   walltime_request=runtime * 4)
+
+
+# --- Ganglia -----------------------------------------------------------------
+
+def test_ganglia_agent_samples_cluster(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=4)
+    central = GangliaWeb()
+    GangliaAgent(eng, site, central, interval=5 * MINUTE)
+    site.cluster.allocate("job-1")
+    eng.run(until=6 * MINUTE)
+    assert central.latest("SiteA", "cpu.total") == 4.0
+    assert central.latest("SiteA", "cpu.busy") == 1.0
+    assert central.latest("SiteA", "cpu.load") == pytest.approx(0.25)
+    assert site.service("ganglia") is not None
+
+
+def test_ganglia_net_bytes_are_deltas(eng, net):
+    site = make_site(eng, net, "SiteA")
+    central = GangliaWeb()
+    agent = GangliaAgent(eng, site, central, interval=5 * MINUTE)
+    gftp = site.service("gridftp")
+    gftp.bytes_sent = 100.0
+    eng.run(until=6 * MINUTE)
+    assert central.latest("SiteA", "net.bytes") == 100.0
+    eng.run(until=11 * MINUTE)
+    assert central.latest("SiteA", "net.bytes") == 0.0  # no new traffic
+
+
+def test_ganglia_grid_summary(eng, net):
+    central = GangliaWeb()
+    for i, busy in enumerate((1, 2)):
+        site = make_site(eng, net, f"S{i}", cpus=4)
+        for j in range(busy):
+            site.cluster.allocate(f"job-{j}")
+        GangliaAgent(eng, site, central, interval=MINUTE)
+    eng.run(until=2 * MINUTE)
+    assert central.grid_summary("cpu.busy", ["S0", "S1"]) == 3.0
+    assert central.grid_summary("cpu.busy", ["S0", "S1", "Ghost"]) == 3.0
+
+
+# --- MonALISA ---------------------------------------------------------------
+
+def test_monalisa_agent_sensors(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=2)
+    wire_site(eng, site, [("/CN=alice", "grid-usatlas")])
+    repo = MonALISARepository(bin_width=MINUTE)
+    MonALISAAgent(eng, site, repo, vos=["usatlas", "uscms"], interval=5 * MINUTE)
+    lrm = site.service("lrm")
+    lrm.submit(Job(spec=spec(runtime=30 * MINUTE)))
+    lrm.submit(Job(spec=spec(name="j2", vo="uscms", runtime=30 * MINUTE)))
+    eng.run(until=6 * MINUTE)
+    assert repo.series("queue.running", site="SiteA")[-1][1] == 2.0
+    assert repo.series("vo.cpus_in_use", site="SiteA", vo="usatlas")[-1][1] == 1.0
+    assert repo.series("vo.cpus_in_use", site="SiteA", vo="uscms")[-1][1] == 1.0
+
+
+def test_monalisa_gram_log_sensor_counts_new_entries(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=4)
+    wire_site(eng, site, [("/CN=alice", "grid-usatlas")])
+    repo = MonALISARepository(bin_width=MINUTE)
+    MonALISAAgent(eng, site, repo, vos=["usatlas"], interval=5 * MINUTE)
+    gk = site.service("gatekeeper")
+    gk._record("submit", 1)
+    gk._record("submit", 2)
+    gk._record("done", 1)
+    eng.run(until=6 * MINUTE)
+    assert repo.series("gram.submits", site="SiteA")[-1][1] == 2.0
+    assert repo.series("gram.completions", site="SiteA")[-1][1] == 1.0
+    # Second pass sees nothing new.
+    eng.run(until=11 * MINUTE)
+    assert repo.series("gram.submits", site="SiteA")[-1][1] == 0.0
+
+
+def test_monalisa_repository_aggregate(eng):
+    repo = MonALISARepository(bin_width=MINUTE)
+    from repro.monitoring.core import MetricSample, make_tags
+    repo.ingest([
+        MetricSample(30.0, "vo.cpus_in_use", 5.0, make_tags(site="A", vo="usatlas")),
+        MetricSample(30.0, "vo.cpus_in_use", 3.0, make_tags(site="B", vo="usatlas")),
+        MetricSample(30.0, "vo.cpus_in_use", 2.0, make_tags(site="A", vo="uscms")),
+    ])
+    assert repo.aggregate_latest("vo.cpus_in_use", vo="usatlas") == 8.0
+    assert repo.aggregate_latest("vo.cpus_in_use") == 10.0
+    assert len(repo) == 3
+
+
+# --- ACDC -------------------------------------------------------------------
+
+def test_job_record_from_job(eng, net):
+    site = make_site(eng, net, "SiteA")
+    sched = BatchScheduler(eng, site)
+    job = Job(spec=spec(runtime=2 * HOUR))
+    sched.submit(job)
+    eng.run()
+    record = JobRecord.from_job(job)
+    assert record.vo == "usatlas"
+    assert record.site == "SiteA"
+    assert record.succeeded
+    assert record.runtime == pytest.approx(2 * HOUR)
+    assert record.failure_type == ""
+
+
+def test_acdc_monitor_pulls_incrementally(eng, net):
+    sites = []
+    for i in range(2):
+        site = make_site(eng, net, f"S{i}", cpus=4)
+        wire_site(eng, site, [("/CN=alice", "grid-usatlas")])
+        sites.append(site)
+    monitor = ACDCJobMonitor(eng, sites, poll_interval=15 * MINUTE)
+    for i, site in enumerate(sites):
+        lrm = site.service("lrm")
+        for j in range(3):
+            lrm.submit(Job(spec=spec(name=f"s{i}j{j}", runtime=10 * MINUTE)))
+    eng.run(until=16 * MINUTE)
+    assert len(monitor.database) == 6
+    # No duplicates on later polls.
+    eng.run(until=46 * MINUTE)
+    assert len(monitor.database) == 6
+    assert monitor.database.success_rate() == 1.0
+
+
+def test_acdc_database_queries():
+    db = ACDCDatabase()
+    for i in range(4):
+        db.add(JobRecord(
+            job_id=i, name=f"j{i}", vo="usatlas" if i < 3 else "uscms",
+            user="alice", site="S0" if i % 2 == 0 else "S1",
+            submitted_at=0.0, started_at=10.0, finished_at=100.0 + i,
+            runtime=90.0, queue_time=10.0,
+            succeeded=i != 1,
+            failure_category="site" if i == 1 else "",
+            failure_type="StorageFullError" if i == 1 else "",
+            bytes_in=1.0, bytes_out=2.0,
+        ))
+    assert len(db.records(vo="usatlas")) == 3
+    assert len(db.records(site="S0")) == 2
+    assert len(db.records(succeeded=False)) == 1
+    assert db.vos() == ["usatlas", "uscms"]
+    assert db.sites() == ["S0", "S1"]
+    assert db.success_rate(vo="usatlas") == pytest.approx(2 / 3)
+    assert db.failure_breakdown() == {"site": 1}
+    assert db.total_cpu_days() == pytest.approx(4 * 90.0 / 86400.0)
+    assert len(db.records(since=102.5)) == 1
+
+
+# --- Site Status Catalog -------------------------------------------------------
+
+def test_probe_healthy_site(eng, net):
+    site = make_site(eng, net, "SiteA")
+    wire_site(eng, site, [])
+    from repro.middleware.mds import GRIS
+    site.attach_service("gris", GRIS(eng, site))
+    result = probe_site(eng.now, site)
+    assert result.ok
+
+
+def test_probe_detects_problems(eng, net):
+    site = make_site(eng, net, "SiteA", disk=1 * GB)
+    wire_site(eng, site, [])
+    from repro.middleware.mds import GRIS
+    site.attach_service("gris", GRIS(eng, site))
+    site.service("gatekeeper").available = False
+    site.storage.store("/fill", 1 * GB)
+    site.attach_service("misconfigured", True)
+    result = probe_site(eng.now, site)
+    assert not result.ok
+    joined = " ".join(result.problems)
+    assert "gatekeeper" in joined
+    assert "full" in joined
+    assert "configuration" in joined
+
+
+def test_catalog_history_and_availability(eng, net):
+    site = make_site(eng, net, "SiteA")
+    wire_site(eng, site, [])
+    from repro.middleware.mds import GRIS
+    site.attach_service("gris", GRIS(eng, site))
+    catalog = SiteStatusCatalog(eng, [site], probe_interval=HOUR)
+    eng.run(until=2.5 * HOUR)  # two probes, both pass
+    site.service("gridftp").available = False
+    eng.run(until=4.5 * HOUR)  # two probes fail
+    assert catalog.availability("SiteA") == pytest.approx(0.5)
+    assert catalog.current_status("SiteA").ok is False
+    page = catalog.status_page()
+    assert page[0][0] == "SiteA" and page[0][1] == "FAIL"
+    assert catalog.passing_sites() == []
+
+
+def test_catalog_unknown_before_first_probe(eng, net):
+    site = make_site(eng, net, "SiteA")
+    catalog = SiteStatusCatalog(eng, [site], probe_interval=HOUR)
+    assert catalog.status_page()[0][1] == "UNKNOWN"
+    assert catalog.availability("SiteA") == 0.0

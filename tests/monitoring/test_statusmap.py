@@ -1,0 +1,74 @@
+"""Tests for the §5.2 status map page."""
+
+import pytest
+
+from repro.fabric import GRID3_SITES
+from repro.monitoring.statusmap import (
+    GLYPHS,
+    SITE_LOCATIONS,
+    project,
+    render_status_map,
+    status_map_for_catalog,
+)
+
+
+def test_every_catalog_site_has_coordinates():
+    catalog_names = {s.name for s in GRID3_SITES}
+    assert catalog_names <= set(SITE_LOCATIONS)
+
+
+def test_projection_in_bounds():
+    row, col = project(40.0, -100.0, width=72, height=20)
+    assert 0 <= row < 20 and 0 <= col < 72
+    # Corners map to corners.
+    assert project(50.0, -125.0, 72, 20) == (0, 0)
+    assert project(24.0, -66.0, 72, 20) == (19, 71)
+
+
+def test_projection_off_viewport():
+    assert project(35.89, 128.61, 72, 20) is None  # Korea
+
+
+def test_render_contains_glyphs_and_key():
+    statuses = {"BNL_ATLAS": "PASS", "FNAL_CMS": "FAIL", "UB_ACDC": "UNKNOWN"}
+    text = render_status_map(statuses)
+    assert "o" in text and "X" in text and "?" in text
+    assert "key:" in text
+    lines = text.splitlines()
+    assert lines[0].startswith("+") and lines[0].endswith("+")
+
+
+def test_render_offmap_site_listed():
+    text = render_status_map({"KNU_Grid3": "PASS"})
+    assert "KNU_Grid3 (off-map): PASS" in text
+
+
+def test_render_unknown_site_listed():
+    text = render_status_map({"Mystery": "FAIL"})
+    assert "Mystery (no coordinates): FAIL" in text
+
+
+def test_fail_wins_pixel_collisions():
+    # CalTech_PG and CalTech_Grid3 share a pixel.
+    text = render_status_map({"CalTech_PG": "PASS", "CalTech_Grid3": "FAIL"})
+    assert "X" in text
+
+
+def test_status_map_for_catalog_rows():
+    rows = [("BNL_ATLAS", "PASS", ()), ("FNAL_CMS", "FAIL", ("gridftp down",))]
+    text = status_map_for_catalog(rows)
+    assert "o" in text and "X" in text
+
+
+def test_full_catalog_render(eng, net):
+    """The real status page renders every site without error."""
+    from repro.monitoring.sitecatalog import SiteStatusCatalog
+    from repro.fabric import build_sites, scaled_catalog
+
+    sites = build_sites(eng, net, scaled_catalog(100.0))
+    catalog = SiteStatusCatalog(eng, sites.values())
+    catalog.probe_all()
+    text = status_map_for_catalog(catalog.status_page())
+    # 26 on-map sites render; KNU is listed off-map.
+    assert text.count("KNU_Grid3") == 1
+    assert len(text.splitlines()) >= 22

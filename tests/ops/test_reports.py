@@ -1,0 +1,92 @@
+"""Tests for the iGOC weekly operations report."""
+
+import pytest
+
+from repro import Grid3, Grid3Config
+from repro.failures import FailureProfile
+from repro.monitoring.acdc import ACDCDatabase, JobRecord
+from repro.ops.reports import (
+    failure_hotspots,
+    production_summary,
+    ticket_summary,
+    weekly_report,
+)
+from repro.ops.tickets import TroubleTicketSystem
+from repro.sim import DAY, HOUR
+
+
+def record(i, vo="usatlas", site="S0", t=DAY, runtime=HOUR, ok=True, ftype=""):
+    return JobRecord(
+        job_id=i, name=f"j{i}", vo=vo, user="u", site=site,
+        submitted_at=t - runtime, started_at=t - runtime, finished_at=t,
+        runtime=runtime, queue_time=0, succeeded=ok,
+        failure_category="" if ok else "site",
+        failure_type=ftype if not ok else "",
+        bytes_in=0, bytes_out=0,
+    )
+
+
+def test_production_summary_sorted_by_cpu():
+    db = ACDCDatabase()
+    db.add(record(1, vo="uscms", runtime=10 * HOUR))
+    db.add(record(2, vo="btev", runtime=1 * HOUR))
+    db.add(record(3, vo="btev", runtime=1 * HOUR, ok=False, ftype="NodeFailureError"))
+    rows = production_summary(db, 0.0, 2 * DAY)
+    assert rows[0][0] == "uscms"
+    btev = next(r for r in rows if r[0] == "btev")
+    assert btev[1] == 2 and btev[2] == pytest.approx(0.5)
+
+
+def test_failure_hotspots_ranks_and_labels():
+    db = ACDCDatabase()
+    for i in range(10):
+        db.add(record(i, site="Bad", ok=i >= 6,
+                      ftype="StorageFullError" if i < 4 else "NodeFailureError"))
+    for i in range(10, 20):
+        db.add(record(i, site="Good"))
+    hotspots = failure_hotspots(db, 0.0, 2 * DAY)
+    assert len(hotspots) == 1
+    site, jobs, rate, dominant = hotspots[0]
+    assert site == "Bad" and jobs == 10
+    assert rate == pytest.approx(0.6)
+    assert dominant == "StorageFullError"
+
+
+def test_failure_hotspots_min_jobs_threshold():
+    db = ACDCDatabase()
+    db.add(record(1, site="Tiny", ok=False, ftype="X"))
+    assert failure_hotspots(db, 0.0, 2 * DAY, min_jobs=5) == []
+
+
+def test_ticket_summary(eng):
+    tts = TroubleTicketSystem(eng)
+    t1 = tts.open_ticket("A", "x")
+    tts.log_effort(t1.ticket_id, 3.0)
+    eng.run(until=2 * HOUR)
+    tts.resolve(t1.ticket_id)
+    tts.open_ticket("B", "y")
+    summary = ticket_summary(tts, 0.0, DAY)
+    assert summary["opened"] == 2
+    assert summary["resolved"] == 1
+    assert summary["still_open"] == 1
+    assert summary["mean_hours_to_resolve"] == pytest.approx(2.0)
+    assert summary["effort_hours"] == 3.0
+
+
+def test_weekly_report_end_to_end():
+    grid = Grid3(Grid3Config(
+        seed=19, scale=500, duration_days=8,
+        apps=["ivdgl", "exerciser"],
+        failures=FailureProfile.calm(),
+    ))
+    grid.run_full()
+    report = weekly_report(grid, week_index=0)
+    assert "Grid3 Operations Report" in report
+    assert "2003-10-23" in report          # the epoch week
+    assert "Site health:" in report
+    assert "Production by VO" in report
+    assert "Data moved:" in report
+    assert "Tickets:" in report
+    # A later (clamped) week also renders.
+    report2 = weekly_report(grid, week_index=5)
+    assert "Operations Report" in report2

@@ -1,0 +1,237 @@
+"""Tests for the LRM base machinery and the three batch flavours."""
+
+import pytest
+
+from repro.core.job import Job, JobSpec, JobState
+from repro.errors import (
+    ApplicationError,
+    NodeFailureError,
+    SubmissionError,
+    WalltimeExceededError,
+)
+from repro.scheduling.batch import BatchScheduler
+from repro.scheduling.flavors import (
+    CondorScheduler,
+    LSFScheduler,
+    PBSScheduler,
+    make_scheduler,
+)
+from repro.sim import HOUR, MINUTE
+
+from ..conftest import make_site
+
+
+def spec(name="j", runtime=1 * HOUR, walltime=None, user="alice", **kw):
+    return JobSpec(
+        name=name, vo="usatlas", user=user, runtime=runtime,
+        walltime_request=walltime if walltime is not None else max(runtime * 2, HOUR),
+        **kw,
+    )
+
+
+def submit(sched, s):
+    job = Job(spec=s)
+    return sched.submit(job)
+
+
+def test_job_runs_to_completion(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=2)
+    sched = BatchScheduler(eng, site)
+    job = submit(sched, spec(runtime=2 * HOUR))
+    eng.run()
+    assert job.succeeded
+    assert job.run_time == pytest.approx(2 * HOUR)
+    assert job.node_id.startswith("SiteA-n")
+    assert sched.completed == [job]
+    assert sched.running_count == 0
+
+
+def test_fifo_queueing_when_full(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=2)
+    sched = BatchScheduler(eng, site)
+    jobs = [submit(sched, spec(name=f"j{i}", runtime=1 * HOUR)) for i in range(4)]
+    assert sched.running_count == 2
+    assert sched.queue_length == 2
+    eng.run()
+    assert all(j.succeeded for j in jobs)
+    # Queue order preserved: j0,j1 start at 0; j2,j3 at 1h.
+    assert jobs[2].started_at == pytest.approx(1 * HOUR)
+    assert jobs[3].started_at == pytest.approx(1 * HOUR)
+
+
+def test_walltime_request_over_site_limit_rejected(eng, net):
+    site = make_site(eng, net, "SiteA", max_walltime=24 * HOUR)
+    sched = BatchScheduler(eng, site)
+    with pytest.raises(SubmissionError):
+        submit(sched, spec(walltime=48 * HOUR))
+    assert sched.rejected_count == 1
+
+
+def test_walltime_kill(eng, net):
+    site = make_site(eng, net, "SiteA")
+    sched = BatchScheduler(eng, site)
+    # Runtime exceeds the requested walltime: the LRM kills it.
+    job = submit(sched, spec(runtime=10 * HOUR, walltime=2 * HOUR))
+    eng.run()
+    assert job.failed
+    assert isinstance(job.error, WalltimeExceededError)
+    assert job.finished_at == pytest.approx(2 * HOUR)
+    assert site.cluster.busy_cpus == 0  # slot freed
+
+
+def test_job_body_failure_recorded(eng, net):
+    site = make_site(eng, net, "SiteA")
+
+    def crashing_runner(engine, job, node):
+        yield engine.timeout(60.0)
+        raise ApplicationError("segfault")
+
+    sched = BatchScheduler(eng, site, runner=crashing_runner)
+    job = submit(sched, spec())
+    eng.run()
+    assert job.failed
+    assert isinstance(job.error, ApplicationError)
+    assert job.failure_category == "application"
+
+
+def test_node_failure_fails_running_job(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=2)
+    sched = BatchScheduler(eng, site)
+    job = submit(sched, spec(runtime=10 * HOUR))
+
+    def failer():
+        yield eng.timeout(1 * HOUR)
+        for node in site.cluster.nodes:
+            if job.job_id in node.running:
+                site.cluster.fail_node(node, cause="nightly rollover")
+
+    eng.process(failer())
+    eng.run()
+    assert job.failed
+    assert isinstance(job.error, NodeFailureError)
+    assert job.finished_at == pytest.approx(1 * HOUR)
+
+
+def test_completion_event_fires(eng, net):
+    site = make_site(eng, net, "SiteA")
+    sched = BatchScheduler(eng, site)
+    seen = []
+
+    def waiter(job):
+        final = yield job.completion
+        seen.append(final.state)
+
+    job = submit(sched, spec(runtime=30 * MINUTE))
+    eng.process(waiter(job))
+    eng.run()
+    assert seen == [JobState.DONE]
+
+
+def test_on_complete_observers(eng, net):
+    site = make_site(eng, net, "SiteA")
+    sched = BatchScheduler(eng, site)
+    seen = []
+    sched.on_job_complete.append(lambda j: seen.append(j.job_id))
+    job = submit(sched, spec())
+    eng.run()
+    assert seen == [job.job_id]
+
+
+def test_cancel_queued_job(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=2)
+    sched = BatchScheduler(eng, site)
+    blockers = [submit(sched, spec(name=f"b{i}", runtime=HOUR)) for i in range(2)]
+    victim = submit(sched, spec(name="victim"))
+    sched.cancel(victim)
+    eng.run()
+    assert victim.failed
+    assert all(b.succeeded for b in blockers)
+
+
+def test_cancel_running_job(eng, net):
+    site = make_site(eng, net, "SiteA")
+    sched = BatchScheduler(eng, site)
+    job = submit(sched, spec(runtime=10 * HOUR))
+
+    def canceller():
+        yield eng.timeout(HOUR)
+        sched.cancel(job)
+
+    eng.process(canceller())
+    eng.run()
+    assert job.failed
+    assert isinstance(job.error, SubmissionError)
+    assert site.cluster.busy_cpus == 0
+
+
+def test_drain_completed_incremental(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=4)
+    sched = BatchScheduler(eng, site)
+    for i in range(3):
+        submit(sched, spec(name=f"j{i}", runtime=HOUR))
+    eng.run()
+    first = sched.drain_completed(0)
+    assert len(first) == 3
+    assert sched.drain_completed(3) == []
+
+
+def test_peak_running_tracked(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=4)
+    sched = BatchScheduler(eng, site)
+    for i in range(6):
+        submit(sched, spec(name=f"j{i}", runtime=HOUR))
+    eng.run()
+    assert sched.peak_running == 4
+
+
+# --- flavours ---------------------------------------------------------------
+
+def test_pbs_priority_order(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=1, batch_system="pbs")
+    sched = PBSScheduler(eng, site)
+    submit(sched, spec(name="blocker", runtime=HOUR))
+    low = submit(sched, spec(name="low"))
+    high = Job(spec=spec(name="high", priority=10))
+    sched.submit(high)
+    eng.run()
+    assert high.started_at < low.started_at
+
+
+def test_condor_fair_share(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=1, batch_system="condor")
+    sched = CondorScheduler(eng, site)
+    # alice consumes CPU first.
+    a1 = submit(sched, spec(name="a1", runtime=4 * HOUR, user="alice"))
+    eng.run(until=1.0)
+    # Both users queue one job; bob has no usage so bob goes first.
+    a2 = submit(sched, spec(name="a2", runtime=HOUR, user="alice"))
+    b1 = submit(sched, spec(name="b1", runtime=HOUR, user="bob"))
+    eng.run()
+    assert b1.started_at < a2.started_at
+
+
+def test_condor_nice_user_backfills_only(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=1, batch_system="condor")
+    sched = CondorScheduler(eng, site)
+    running = submit(sched, spec(name="r", runtime=HOUR, user="alice"))
+    exerciser = submit(sched, spec(name="probe", runtime=HOUR, user="condor", nice_user=True))
+    science = submit(sched, spec(name="science", runtime=HOUR, user="bob"))
+    eng.run()
+    # Science beats the nice-user probe even though the probe queued first.
+    assert science.started_at < exerciser.started_at
+
+
+def test_lsf_short_queue_first(eng, net):
+    site = make_site(eng, net, "SiteA", cpus=1, batch_system="lsf", max_walltime=200 * HOUR)
+    sched = LSFScheduler(eng, site)
+    running = submit(sched, spec(name="r", runtime=HOUR, walltime=2 * HOUR))
+    long_job = submit(sched, spec(name="long", runtime=HOUR, walltime=100 * HOUR))
+    short_job = submit(sched, spec(name="short", runtime=HOUR, walltime=2 * HOUR))
+    eng.run()
+    assert short_job.started_at < long_job.started_at
+
+
+def test_make_scheduler_picks_flavour(eng, net):
+    for flavour, cls in (("pbs", PBSScheduler), ("condor", CondorScheduler), ("lsf", LSFScheduler)):
+        site = make_site(eng, net, f"Site-{flavour}", batch_system=flavour)
+        assert isinstance(make_scheduler(eng, site), cls)

@@ -1,0 +1,232 @@
+"""Tests for Condor-G grid submission and DAGMan DAG execution."""
+
+import pytest
+
+from repro.core.job import JobSpec
+from repro.errors import ApplicationError
+from repro.scheduling.condorg import CondorG
+from repro.scheduling.dagman import DAGMan
+from repro.scheduling.matchmaking import SiteSelector
+from repro.sim import HOUR, MINUTE, RngRegistry
+from repro.workflow.dag import DAG, NodeState
+
+from ..conftest import make_grid_fragment
+
+
+def spec(name="j", runtime=HOUR, **kw):
+    kw.setdefault("walltime_request", 4 * HOUR)
+    return JobSpec(name=name, vo="usatlas", user="alice", runtime=runtime, **kw)
+
+
+def make_condorg(eng, net, ca, runner=None, selector_rng=None, **kw):
+    sites, giis, proxy = make_grid_fragment(eng, net, ca, runner=runner)
+    selector = None
+    if selector_rng is not None:
+        selector = SiteSelector(giis, selector_rng)
+    cg = CondorG(
+        eng, "usatlas-submit", sites,
+        proxy_provider=lambda user: proxy,
+        selector=selector,
+        **kw,
+    )
+    return cg, sites
+
+
+def test_submit_runs_to_completion(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca)
+    handle = cg.submit(spec(), "Frag0")
+    eng.run()
+    assert handle.succeeded
+    assert handle.job.site_name == "Frag0"
+    assert cg.completed == 1 and cg.failed == 0
+    # The gatekeeper's jobmanager exited.
+    assert sites["Frag0"].service("gatekeeper").managed_count == 0
+
+
+def test_submit_many(eng, net, ca):
+    cg, _sites = make_condorg(eng, net, ca)
+    handles = cg.submit_many([spec(name=f"j{i}") for i in range(10)], "Frag1")
+    eng.run()
+    assert all(h.succeeded for h in handles)
+    assert cg.completed == 10
+
+
+def test_matched_submission_uses_selector(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca, selector_rng=RngRegistry(1))
+    handle = cg.submit(spec())  # no site pinned
+    eng.run()
+    assert handle.succeeded
+    assert handle.job.site_name in sites
+
+
+def test_retry_on_failure_moves_site(eng, net, ca):
+    """A job that fails at one site is resubmitted elsewhere."""
+    calls = []
+
+    def flaky_runner(engine, job, node):
+        calls.append(job.site_name)
+        yield engine.timeout(10 * MINUTE)
+        if job.site_name == "Frag0":
+            raise ApplicationError("bad at Frag0")
+
+    cg, _sites = make_condorg(eng, net, ca, runner=flaky_runner, max_retries=2)
+    handle = cg.submit(spec())  # unpinned: walks the site list
+    eng.run()
+    assert handle.succeeded
+    assert handle.attempts == 2
+    assert handle.sites_tried[0] == "Frag0"
+    assert handle.sites_tried[1] != "Frag0"
+    assert cg.resubmissions == 1
+
+
+def test_exhausted_retries_fail(eng, net, ca):
+    def always_fails(engine, job, node):
+        yield engine.timeout(MINUTE)
+        raise ApplicationError("hopeless")
+
+    cg, _sites = make_condorg(eng, net, ca, runner=always_fails, max_retries=1)
+    handle = cg.submit(spec())
+    eng.run()
+    assert not handle.succeeded
+    assert handle.job.failed
+    assert cg.failed == 1
+    assert handle.attempts == 2  # original + 1 retry
+
+
+def test_per_site_throttle_limits_inflight(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca, per_site_throttle=2)
+    handles = cg.submit_many([spec(name=f"j{i}") for i in range(6)], "Frag0")
+    eng.run(until=1.0)
+    gk = sites["Frag0"].service("gatekeeper")
+    assert gk.managed_count <= 2
+    eng.run()
+    assert all(h.succeeded for h in handles)
+
+
+def test_no_usable_site_fails_cleanly(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca)
+    for site in sites.values():
+        site.service("gatekeeper").available = False
+    handle = cg.submit(spec(), "Frag0")
+    eng.run()
+    assert not handle.succeeded
+    assert cg.unmatched == 1 or cg.failed == 1
+
+
+def test_overload_backoff_eventually_succeeds(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca)
+    gk = sites["Frag0"].service("gatekeeper")
+    gk.available = False
+
+    def restore():
+        yield eng.timeout(6 * MINUTE)
+        gk.available = True
+
+    eng.process(restore())
+    handle = cg.submit(spec(), "Frag0")
+    eng.run()
+    assert handle.succeeded  # backoff retried after the service returned
+
+
+# --- DAGMan ------------------------------------------------------------------
+
+def linear_dag(n=3, prefix="step"):
+    dag = DAG("test-dag")
+    prev = None
+    for i in range(n):
+        node = dag.add_job(f"{prefix}{i}", spec(name=f"{prefix}{i}", runtime=30 * MINUTE))
+        if prev is not None:
+            dag.add_edge(prev.node_id, node.node_id)
+        prev = node
+    return dag
+
+
+def test_dagman_linear_chain_runs_in_order(eng, net, ca):
+    cg, _sites = make_condorg(eng, net, ca)
+    dagman = DAGMan(eng, cg)
+    dag = linear_dag(3)
+    result = eng.run_process(dagman.run(dag))
+    assert result.succeeded
+    assert result.nodes_done == 3
+    # Chain of 3 x 30 min jobs: at least 90 minutes of sim time.
+    assert eng.now >= 90 * MINUTE
+    starts = [j.started_at for j in sorted(result.jobs, key=lambda j: j.spec.name)]
+    assert starts == sorted(starts)
+
+
+def test_dagman_diamond_parallelism(eng, net, ca):
+    cg, _sites = make_condorg(eng, net, ca)
+    dagman = DAGMan(eng, cg)
+    dag = DAG("diamond")
+    a = dag.add_job("a", spec(name="a", runtime=10 * MINUTE))
+    b = dag.add_job("b", spec(name="b", runtime=10 * MINUTE))
+    c = dag.add_job("c", spec(name="c", runtime=10 * MINUTE))
+    d = dag.add_job("d", spec(name="d", runtime=10 * MINUTE))
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    result = eng.run_process(dagman.run(dag))
+    assert result.succeeded
+    jobs = {j.spec.name: j for j in result.jobs}
+    # b and c overlapped (both started before the other finished).
+    assert jobs["b"].started_at < jobs["c"].finished_at
+    assert jobs["c"].started_at < jobs["b"].finished_at
+    assert jobs["d"].started_at >= max(jobs["b"].finished_at, jobs["c"].finished_at)
+
+
+def test_dagman_node_retry(eng, net, ca):
+    attempts = []
+
+    def flaky(engine, job, node):
+        attempts.append(job.spec.name)
+        yield engine.timeout(MINUTE)
+        if attempts.count(job.spec.name) == 1:
+            raise ApplicationError("first attempt fails")
+
+    cg, _sites = make_condorg(eng, net, ca, runner=flaky, max_retries=0)
+    dagman = DAGMan(eng, cg)
+    dag = DAG("retry")
+    dag.add_job("only", spec(name="only"), retries=2)
+    result = eng.run_process(dagman.run(dag))
+    assert result.succeeded
+    assert attempts.count("only") == 2
+
+
+def test_dagman_failure_marks_descendants_unreachable(eng, net, ca):
+    def poison(engine, job, node):
+        yield engine.timeout(MINUTE)
+        if job.spec.name == "bad":
+            raise ApplicationError("always fails")
+
+    cg, _sites = make_condorg(eng, net, ca, runner=poison, max_retries=0)
+    dagman = DAGMan(eng, cg)
+    dag = DAG("poisoned")
+    dag.add_job("bad", spec(name="bad"), retries=0)
+    dag.add_job("child", spec(name="child"))
+    dag.add_job("independent", spec(name="independent"))
+    dag.add_edge("bad", "child")
+    result = eng.run_process(dagman.run(dag))
+    assert not result.succeeded
+    assert dag.node("bad").state is NodeState.FAILED
+    assert dag.node("child").state is NodeState.UNREACHABLE
+    assert dag.node("independent").state is NodeState.DONE
+    # Rescue DAG contains exactly the un-done work.
+    rescue = result.rescue_dag()
+    assert sorted(n.node_id for n in rescue.nodes()) == ["bad", "child"]
+
+
+def test_dagman_max_idle_throttle(eng, net, ca):
+    cg, sites = make_condorg(eng, net, ca)
+    dagman = DAGMan(eng, cg, max_idle=2)
+    dag = DAG("wide")
+    for i in range(8):
+        dag.add_job(f"n{i}", spec(name=f"n{i}", runtime=10 * MINUTE))
+    proc = eng.process(dagman.run(dag))
+    eng.run(until=1.0)
+    total_managed = sum(
+        s.service("gatekeeper").managed_count for s in sites.values()
+    )
+    assert total_managed <= 2
+    eng.run()
+    assert proc.value.succeeded

@@ -1,0 +1,101 @@
+"""Edge-case tests for Condor-G and batch scheduling."""
+
+import pytest
+
+from repro.core.job import Job, JobSpec
+from repro.errors import ApplicationError
+from repro.scheduling.condorg import CondorG
+from repro.scheduling.batch import BatchScheduler
+from repro.sim import GB, HOUR, MINUTE
+
+from ..conftest import make_grid_fragment, make_site, wire_site
+
+
+def spec(name="j", runtime=HOUR, **kw):
+    kw.setdefault("walltime_request", 4 * HOUR)
+    return JobSpec(name=name, vo="usatlas", user="alice", runtime=runtime, **kw)
+
+
+def test_throttle_released_on_submission_failure(eng, net, ca):
+    """A site that keeps rejecting must not eat throttle slots forever."""
+    sites, _giis, proxy = make_grid_fragment(eng, net, ca)
+    cg = CondorG(eng, "s", sites, proxy_provider=lambda u: proxy,
+                 per_site_throttle=2, max_retries=0)
+    sites["Frag0"].service("gatekeeper").available = False
+    handles = cg.submit_many([spec(name=f"j{i}") for i in range(4)], "Frag0")
+    eng.run()
+    assert all(not h.succeeded for h in handles)
+    # All throttle slots returned.
+    assert cg._throttles["Frag0"].in_use == 0
+    assert cg._throttles["Frag0"].queue_length == 0
+
+
+def test_pinned_site_never_retries_elsewhere(eng, net, ca):
+    def fails_on_frag0(engine, job, node):
+        yield engine.timeout(MINUTE)
+        if job.site_name == "Frag0":
+            raise ApplicationError("bad here")
+
+    sites, _giis, proxy = make_grid_fragment(eng, net, ca, runner=fails_on_frag0)
+    cg = CondorG(eng, "s", sites, proxy_provider=lambda u: proxy, max_retries=3)
+    handle = cg.submit(spec(), "Frag0")
+    eng.run()
+    assert not handle.succeeded
+    assert set(handle.sites_tried) == {"Frag0"}  # pinning honoured
+
+
+def test_walltime_policy_rejection_moves_to_next_site(eng, net, ca):
+    """A site whose LRM rejects the walltime is skipped, not fatal."""
+    sites, _giis, proxy = make_grid_fragment(eng, net, ca)
+    # Make Frag0 reject long jobs.
+    sites["Frag0"].config.max_walltime = 1 * HOUR
+    cg = CondorG(eng, "s", sites, proxy_provider=lambda u: proxy)
+    handle = cg.submit(spec(walltime_request=10 * HOUR))  # unpinned
+    eng.run()
+    assert handle.succeeded
+    assert handle.job.site_name != "Frag0"
+
+
+def test_zero_runtime_job(eng, net):
+    site = make_site(eng, net, "S", cpus=1)
+    sched = BatchScheduler(eng, site)
+    job = Job(spec=spec(runtime=0.0))
+    sched.submit(job)
+    eng.run()
+    assert job.succeeded
+    assert job.run_time == 0.0
+
+
+def test_burst_submission_drains_in_arrival_order(eng, net):
+    site = make_site(eng, net, "S", cpus=1)
+    sched = BatchScheduler(eng, site)
+    jobs = [Job(spec=spec(name=f"j{i}", runtime=10 * MINUTE)) for i in range(8)]
+    for job in jobs:
+        sched.submit(job)
+    eng.run()
+    starts = [j.started_at for j in jobs]
+    assert starts == sorted(starts)
+    assert all(j.succeeded for j in jobs)
+
+
+def test_intra_site_archiving_skips_transfer(eng, net, rng):
+    """A job whose archive site is its execution site registers locally
+    without moving bytes."""
+    from repro.core.runner import Grid3Runner
+    from repro.middleware.rls import LocalReplicaCatalog, ReplicaLocationIndex
+
+    site = make_site(eng, net, "Home", cpus=2)
+    sites = {"Home": site}
+    rls = ReplicaLocationIndex(eng)
+    rls.attach_lrc(LocalReplicaCatalog("Home"))
+    runner = Grid3Runner(sites, rls, rng)
+    sched = BatchScheduler(eng, site, runner=runner)
+    job = Job(spec=spec(
+        outputs=(("/out/x", 1 * GB),), archive_site="Home",
+    ))
+    sched.submit(job)
+    eng.run()
+    assert job.succeeded
+    assert job.bytes_staged_out == 0.0
+    assert "/out/x" in site.storage
+    assert rls.sites_with("/out/x") == ["Home"]

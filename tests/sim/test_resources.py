@@ -1,0 +1,259 @@
+"""Unit + property tests for Resource and Container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, ContainerError, Engine, Resource
+
+
+def test_resource_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Resource(eng, 0)
+
+
+def test_resource_grants_up_to_capacity():
+    eng = Engine()
+    res = Resource(eng, 2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    eng.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.in_use == 2 and res.available == 0 and res.queue_length == 1
+
+
+def test_release_wakes_waiter():
+    eng = Engine()
+    res = Resource(eng, 1)
+    order = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        order.append(("start", tag, eng.now))
+        yield eng.timeout(hold)
+        res.release(req)
+        order.append(("end", tag, eng.now))
+
+    eng.process(user("a", 5.0))
+    eng.process(user("b", 3.0))
+    eng.run()
+    assert order == [
+        ("start", "a", 0.0),
+        ("end", "a", 5.0),
+        ("start", "b", 5.0),
+        ("end", "b", 8.0),
+    ]
+
+
+def test_priority_request_jumps_queue():
+    eng = Engine()
+    res = Resource(eng, 1)
+    granted = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield eng.timeout(10.0)
+        res.release(req)
+
+    def claimant(tag, prio, delay):
+        yield eng.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        granted.append(tag)
+        res.release(req)
+
+    eng.process(holder())
+    eng.process(claimant("low", 10, 1.0))
+    eng.process(claimant("high", 0, 2.0))  # arrives later but higher prio
+    eng.run()
+    assert granted == ["high", "low"]
+
+
+def test_release_ungranted_request_rejected():
+    eng = Engine()
+    res = Resource(eng, 1)
+    req1 = res.request()
+    req2 = res.request()
+    eng.run()
+    assert req1.triggered and not req2.triggered
+    with pytest.raises(RuntimeError):
+        res.release(req2)
+
+
+def test_cancel_waiting_request():
+    eng = Engine()
+    res = Resource(eng, 1)
+    req1 = res.request()
+    req2 = res.request()
+    req3 = res.request()
+    req2.cancel()
+    res.release(req1)
+    eng.run()
+    assert req3.triggered
+    assert res.in_use == 1
+
+
+def test_cancel_granted_request_rejected():
+    eng = Engine()
+    res = Resource(eng, 1)
+    req = res.request()
+    eng.run()
+    with pytest.raises(RuntimeError):
+        req.cancel()
+
+
+def test_resize_up_dispatches_waiters():
+    eng = Engine()
+    res = Resource(eng, 1)
+    reqs = [res.request() for _ in range(3)]
+    eng.run()
+    assert sum(r.triggered for r in reqs) == 1
+    res.resize(3)
+    eng.run()
+    assert all(r.triggered for r in reqs)
+
+
+def test_resize_down_drains_gracefully():
+    eng = Engine()
+    res = Resource(eng, 2)
+    r1, r2 = res.request(), res.request()
+    eng.run()
+    res.resize(1)
+    assert res.in_use == 2  # over-capacity until a release
+    res.release(r1)
+    r3 = res.request()
+    eng.run()
+    assert not r3.triggered  # still at new capacity
+    res.release(r2)
+    eng.run()
+    assert r3.triggered
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=40),
+)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """Property: in-use slot count never exceeds capacity, and every
+    request is eventually granted."""
+    eng = Engine()
+    res = Resource(eng, capacity)
+    peak = [0]
+    completed = []
+
+    def user(i, hold):
+        req = res.request()
+        yield req
+        peak[0] = max(peak[0], res.in_use)
+        assert res.in_use <= res.capacity
+        yield eng.timeout(hold)
+        res.release(req)
+        completed.append(i)
+
+    for i, hold in enumerate(holds):
+        eng.process(user(i, hold))
+    eng.run()
+    assert peak[0] <= capacity
+    assert sorted(completed) == list(range(len(holds)))
+
+
+def test_container_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Container(eng, 0)
+    with pytest.raises(ValueError):
+        Container(eng, 10, initial=20)
+
+
+def test_container_try_put_get():
+    eng = Engine()
+    disk = Container(eng, 100.0)
+    assert disk.try_put(60.0)
+    assert disk.level == 60.0
+    assert not disk.try_put(50.0)  # would overflow: disk-full behaviour
+    assert disk.level == 60.0
+    assert disk.try_get(10.0)
+    assert disk.level == 50.0
+    assert not disk.try_get(60.0)
+    assert disk.level == 50.0
+
+
+def test_container_put_overflow_raises():
+    eng = Engine()
+    disk = Container(eng, 10.0)
+    with pytest.raises(ContainerError):
+        disk.put(11.0)
+
+
+def test_container_negative_amounts_rejected():
+    eng = Engine()
+    disk = Container(eng, 10.0)
+    with pytest.raises(ContainerError):
+        disk.try_put(-1.0)
+    with pytest.raises(ContainerError):
+        disk.try_get(-1.0)
+
+
+def test_container_blocking_get_fifo():
+    eng = Engine()
+    tank = Container(eng, 100.0)
+    got = []
+
+    def consumer(tag, amount):
+        yield tank.get(amount)
+        got.append((tag, eng.now))
+
+    def producer():
+        yield eng.timeout(1.0)
+        tank.put(5.0)
+        yield eng.timeout(1.0)
+        tank.put(10.0)
+
+    eng.process(consumer("first", 5.0))
+    eng.process(consumer("second", 10.0))
+    eng.process(producer())
+    eng.run()
+    assert got == [("first", 1.0), ("second", 2.0)]
+
+
+def test_container_blocking_get_head_of_line():
+    """A large waiting get blocks later small gets (FIFO semantics)."""
+    eng = Engine()
+    tank = Container(eng, 100.0, initial=3.0)
+    got = []
+
+    def consumer(tag, amount):
+        yield tank.get(amount)
+        got.append(tag)
+
+    eng.process(consumer("big", 50.0))
+    eng.process(consumer("small", 1.0))
+    eng.run(until=10.0)
+    assert got == []  # big blocks, small waits behind it
+    tank.put(48.0)  # 3 + 48 = 51: enough for big (50) then small (1)
+    eng.run(until=20.0)
+    assert got == ["big", "small"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]), st.floats(min_value=0.0, max_value=30.0)),
+        max_size=60,
+    )
+)
+def test_container_level_always_in_bounds(ops):
+    """Property: level stays within [0, capacity] under any try_ sequence."""
+    eng = Engine()
+    tank = Container(eng, 50.0, initial=25.0)
+    for op, amount in ops:
+        if op == "put":
+            tank.try_put(amount)
+        else:
+            tank.try_get(amount)
+        assert -1e-9 <= tank.level <= tank.capacity + 1e-9
+        assert abs((tank.level + tank.free) - tank.capacity) < 1e-6

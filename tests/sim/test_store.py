@@ -1,0 +1,148 @@
+"""Unit + property tests for Store / PriorityStore."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, PriorityStore, Store
+
+
+def test_store_fifo_order():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put("a")
+    store.put("b")
+    eng.process(consumer())
+
+    def late_producer():
+        yield eng.timeout(5.0)
+        store.put("c")
+
+    eng.process(late_producer())
+    eng.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_blocking_get_waits():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, eng.now))
+
+    def producer():
+        yield eng.timeout(7.0)
+        store.put("x")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == [("x", 7.0)]
+
+
+def test_store_try_get():
+    eng = Engine()
+    store = Store(eng)
+    assert store.try_get() is None
+    store.put(1)
+    assert store.try_get() == 1
+    assert store.try_get() is None
+
+
+def test_store_try_get_defers_to_waiters():
+    eng = Engine()
+    store = Store(eng)
+    store.get()  # a waiter queued first
+    assert store.try_get() is None
+
+
+def test_store_len_and_items():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_priority_store_serves_smallest():
+    eng = Engine()
+    store = PriorityStore(eng)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put((5, "low"))
+    store.put((1, "high"))
+    store.put((3, "mid"))
+    eng.process(consumer())
+    eng.run()
+    assert got == [(1, "high"), (3, "mid"), (5, "low")]
+
+
+def test_multiple_getters_fifo():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    eng.process(consumer("first"))
+    eng.process(consumer("second"))
+    store.put("x")
+    store.put("y")
+    eng.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), max_size=50))
+def test_store_preserves_all_items(items):
+    """Property: everything put is got, in FIFO order."""
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer(n):
+        for _ in range(n):
+            item = yield store.get()
+            got.append(item)
+
+    for item in items:
+        store.put(item)
+    eng.process(consumer(len(items)))
+    eng.run()
+    assert got == items
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), max_size=50))
+def test_priority_store_is_sorted(items):
+    """Property: PriorityStore yields items in sorted order."""
+    eng = Engine()
+    store = PriorityStore(eng)
+    got = []
+
+    def consumer(n):
+        for _ in range(n):
+            item = yield store.get()
+            got.append(item)
+
+    for item in items:
+        store.put(item)
+    eng.process(consumer(len(items)))
+    eng.run()
+    assert got == sorted(items)

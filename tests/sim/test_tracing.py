@@ -1,0 +1,108 @@
+"""Tests for the kernel tracer."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.tracing import Tracer
+
+
+def test_tracer_records_processes_and_timeouts():
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def worker():
+        yield eng.timeout(5.0)
+        yield eng.timeout(3.0)
+
+    eng.process(worker(), name="worker-1")
+    eng.run()
+    kinds = [e.kind for e in tracer.entries]
+    assert "timeout" in kinds
+    assert "process-ok" in kinds
+    done = tracer.matching("worker-1")
+    assert done and done[-1].time == 8.0
+
+
+def test_tracer_records_failures():
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def crasher():
+        yield eng.timeout(1.0)
+        raise ValueError("boom")
+
+    def guard():
+        try:
+            yield eng.process(crasher(), name="crasher")
+        except ValueError:
+            pass
+
+    eng.process(guard(), name="guard")
+    eng.run()
+    failed = [e for e in tracer.entries if e.kind == "process-failed"]
+    assert any("crasher" in e.label for e in failed)
+
+
+def test_tracer_ring_is_bounded():
+    eng = Engine()
+    tracer = Tracer(eng, capacity=10)
+
+    def tick(i):
+        yield eng.timeout(float(i))
+
+    for i in range(50):
+        eng.process(tick(i))
+    eng.run()
+    assert len(tracer.entries) == 10
+    assert tracer.events_seen > 10
+
+
+def test_tracer_detach_restores_engine():
+    eng = Engine()
+    tracer = Tracer(eng)
+    tracer.detach()
+    before = len(tracer.entries)
+
+    def worker():
+        yield eng.timeout(1.0)
+
+    eng.process(worker())
+    eng.run()
+    assert len(tracer.entries) == before
+    tracer.detach()  # idempotent
+
+
+def test_tracer_render_and_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Tracer(eng, capacity=0)
+    tracer = Tracer(eng)
+
+    def worker():
+        yield eng.timeout(2.5)
+
+    eng.process(worker(), name="render-me")
+    eng.run()
+    text = tracer.render_tail(5)
+    assert "render-me" in text
+    assert "2.500" in text
+
+
+def test_traced_run_matches_untraced():
+    """Tracing must not perturb simulation outcomes."""
+
+    def scenario(trace):
+        eng = Engine()
+        tracer = Tracer(eng) if trace else None
+        results = []
+
+        def worker(i):
+            yield eng.timeout(float(i % 7))
+            results.append((eng.now, i))
+
+        for i in range(100):
+            eng.process(worker(i))
+        eng.run()
+        return results
+
+    assert scenario(False) == scenario(True)

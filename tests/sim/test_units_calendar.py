@@ -1,0 +1,102 @@
+"""Tests for unit constants/formatters and the Grid3 calendar."""
+
+import datetime as dt
+
+from repro.sim import (
+    DAY,
+    GB,
+    GRID3_EPOCH,
+    HOUR,
+    MINUTE,
+    SimCalendar,
+    TB,
+    bytes_to_gb,
+    bytes_to_tb,
+    fmt_bytes,
+    fmt_duration,
+    seconds_to_days,
+    seconds_to_hours,
+)
+
+
+def test_time_constants():
+    assert MINUTE == 60.0
+    assert HOUR == 3600.0
+    assert DAY == 86400.0
+
+
+def test_data_constants():
+    assert GB == 1e9
+    assert TB == 1e12
+
+
+def test_conversions():
+    assert seconds_to_days(2 * DAY) == 2.0
+    assert seconds_to_hours(90 * MINUTE) == 1.5
+    assert bytes_to_tb(2.5 * TB) == 2.5
+    assert bytes_to_gb(4 * GB) == 4.0
+
+
+def test_fmt_duration():
+    assert fmt_duration(0) == "00:00:00"
+    assert fmt_duration(3661) == "01:01:01"
+    assert fmt_duration(2 * DAY + 3 * HOUR + 4 * MINUTE + 5) == "2d 03:04:05"
+    assert fmt_duration(-HOUR) == "-01:00:00"
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(500) == "500 B"
+    assert fmt_bytes(2 * GB) == "2.0 GB"
+    assert fmt_bytes(1.5 * TB) == "1.5 TB"
+
+
+def test_epoch_is_table1_window_start():
+    assert GRID3_EPOCH == dt.datetime(2003, 10, 23)
+
+
+def test_datetime_roundtrip():
+    cal = SimCalendar()
+    when = dt.datetime(2004, 2, 29, 12, 0)  # 2004 is a leap year
+    t = cal.sim_time_of(when)
+    assert cal.datetime_of(t) == when
+
+
+def test_month_label_matches_table1_style():
+    cal = SimCalendar()
+    assert cal.month_label(0.0) == "10-2003"
+    t_nov20 = cal.sim_time_of(dt.datetime(2003, 11, 20))
+    assert cal.month_label(t_nov20) == "11-2003"
+
+
+def test_month_index_crosses_year_boundary():
+    cal = SimCalendar()
+    t_jan = cal.sim_time_of(dt.datetime(2004, 1, 10))
+    assert cal.month_index(t_jan) == 3  # Oct, Nov, Dec, Jan
+
+
+def test_month_labels_cover_paper_window():
+    cal = SimCalendar()
+    horizon = cal.sim_time_of(dt.datetime(2004, 4, 23))
+    labels = cal.month_labels(horizon)
+    assert labels[0] == "10-2003"
+    assert labels[-1] == "04-2004"
+    assert len(labels) == 7
+
+
+def test_month_labels_zero_horizon():
+    cal = SimCalendar()
+    assert cal.month_labels(0.0) == ["10-2003"]
+
+
+def test_day_index():
+    cal = SimCalendar()
+    assert cal.day_index(0.0) == 0
+    assert cal.day_index(DAY - 1) == 0
+    assert cal.day_index(DAY) == 1
+
+
+def test_window():
+    cal = SimCalendar()
+    t0, t1 = cal.window(dt.datetime(2003, 10, 25), 30)
+    assert t1 - t0 == 30 * DAY
+    assert cal.datetime_of(t0) == dt.datetime(2003, 10, 25)

@@ -1,0 +1,39 @@
+"""Optional end-to-end smoke runs of every example script.
+
+Each example is executed in a subprocess exactly as a user would run it.
+These take a few minutes total, so they only run when explicitly asked:
+
+    RUN_EXAMPLE_SMOKE=1 pytest tests/test_examples_smoke.py -q
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("RUN_EXAMPLE_SMOKE"),
+    reason="set RUN_EXAMPLE_SMOKE=1 to smoke-run the examples",
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(path):
+    env = dict(os.environ, GRID3_SCALE="400")
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, (
+        f"{path.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{path.name} printed nothing"

@@ -1,0 +1,56 @@
+"""Tests for Grid3 administrative operations (user admission, etc.)."""
+
+import pytest
+
+from repro import Grid3, Grid3Config
+from repro.core.job import JobSpec
+from repro.failures import FailureProfile
+from repro.sim import HOUR
+
+
+@pytest.fixture(scope="module")
+def grid():
+    g = Grid3(Grid3Config(
+        seed=71, scale=800, duration_days=5, apps=[],
+        failures=FailureProfile.disabled(), misconfig_probability=0.0,
+    ))
+    g.deploy()
+    return g
+
+
+def test_add_user_registers_and_propagates(grid):
+    before = grid.registered_users()
+    user = grid.add_user("sdss", "new-astronomer")
+    assert grid.registered_users() == before + 1
+    assert user.vo == "sdss"
+    # Every site's grid-map now maps the new DN.
+    for site in grid.sites.values():
+        assert user.dn in site.service("gridmap")
+    # And the authenticator uses the refreshed map.
+    auth = grid.sites["JHU_SDSS"].service("authenticator")
+    proxy = grid.voms["sdss"].proxy_for("new-astronomer")
+    assert auth.authenticate(proxy) == "grid-sdss"
+
+
+def test_add_user_idempotent(grid):
+    first = grid.add_user("btev", "repeat-user")
+    count = grid.registered_users()
+    second = grid.add_user("btev", "repeat-user")
+    assert first is second
+    assert grid.registered_users() == count
+
+
+def test_new_user_can_actually_submit(grid):
+    grid.add_user("ligo", "fresh-scientist")
+    cg = grid.condorg["ligo"]
+    handle = cg.submit(JobSpec(
+        name="fresh-job", vo="ligo", user="fresh-scientist",
+        runtime=HOUR, walltime_request=4 * HOUR,
+    ), "UWM_LIGO")
+    grid.run(days=1)
+    assert handle.succeeded
+
+
+def test_unknown_vo_rejected(grid):
+    with pytest.raises(KeyError):
+        grid.add_user("notavo", "nobody")

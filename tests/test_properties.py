@@ -1,0 +1,206 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down structural invariants that unit tests exercise only
+pointwise: event ordering in the kernel, DAG execution-order validity,
+rescue-DAG conservation, matchmaker admissibility, and batch-scheduler
+conservation of jobs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import Job, JobSpec
+from repro.middleware.mds import GIIS, GRIS
+from repro.scheduling.batch import BatchScheduler
+from repro.scheduling.matchmaking import SiteSelector
+from repro.sim import DAY, Engine, GB, HOUR, RngRegistry, TB
+from repro.workflow.dag import DAG, NodeState
+
+from .conftest import make_site
+
+
+# --- kernel ordering -----------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+def test_property_events_fire_in_time_order(delays):
+    """Completion order is non-decreasing in scheduled time, with FIFO
+    tie-breaking by submission order."""
+    eng = Engine()
+    fired = []
+
+    def proc(i, delay):
+        yield eng.timeout(delay)
+        fired.append((eng.now, i))
+
+    for i, delay in enumerate(delays):
+        eng.process(proc(i, delay))
+    eng.run()
+    times = [t for t, _i in fired]
+    assert times == sorted(times)
+    # FIFO among equal times.
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    layers=st.lists(
+        st.integers(min_value=1, max_value=4), min_size=1, max_size=5
+    )
+)
+def test_property_layered_dag_topological_execution(layers):
+    """Execute a random layered DAG by hand-promoting nodes; every node
+    runs only after all parents, and everything runs exactly once."""
+    dag = DAG("layered")
+    previous: list = []
+    rng = RngRegistry(0)
+    for depth, width in enumerate(layers):
+        current = []
+        for w in range(width):
+            node = dag.add_job(
+                f"n{depth}-{w}",
+                JobSpec(name="x", vo="sdss", user="u", runtime=1.0),
+            )
+            current.append(node)
+            for parent in previous:
+                if rng.bernoulli(f"edge{depth}{w}{parent.node_id}", 0.6):
+                    dag.add_edge(parent.node_id, node.node_id)
+        previous = current
+
+    executed = []
+    while not dag.finished:
+        ready = dag.refresh_ready()
+        assert ready, "non-finished DAG must always have ready nodes"
+        for node in ready:
+            for parent in dag.parents(node.node_id):
+                assert parent.state is NodeState.DONE
+            node.state = NodeState.DONE
+            executed.append(node.node_id)
+    assert sorted(executed) == sorted(n.node_id for n in dag.nodes())
+    assert dag.succeeded
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=12),
+    fail_idx=st.integers(min_value=0, max_value=11),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_rescue_dag_conserves_undone_work(n_nodes, fail_idx, seed):
+    """Rescue DAG = exactly the non-DONE nodes, with internal edges
+    preserved and no dangling references."""
+    fail_idx = fail_idx % n_nodes
+    rng = RngRegistry(seed)
+    dag = DAG("prop")
+    for i in range(n_nodes):
+        dag.add_job(f"n{i}", JobSpec(name="x", vo="sdss", user="u", runtime=1.0))
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if rng.bernoulli(f"e{i}{j}", 0.3):
+                dag.add_edge(f"n{i}", f"n{j}")
+    # Simulate partial execution: everything before fail_idx done, the
+    # failing node FAILED, descendants unreachable.
+    for i in range(fail_idx):
+        dag.node(f"n{i}").state = NodeState.DONE
+    dag.node(f"n{fail_idx}").state = NodeState.FAILED
+    dag.mark_unreachable_descendants(f"n{fail_idx}")
+
+    rescue = dag.rescue_dag()
+    undone = {n.node_id for n in dag.nodes() if n.state is not NodeState.DONE}
+    assert {n.node_id for n in rescue.nodes()} == undone
+    for node in rescue.nodes():
+        assert node.state is NodeState.WAITING
+        for parent in rescue.parents(node.node_id):
+            assert parent.node_id in undone
+
+
+# --- matchmaking admissibility ----------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    outbound=st.booleans(),
+    disk_gb=st.floats(min_value=0, max_value=5000),
+    walltime_h=st.floats(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_selected_site_is_always_admissible(outbound, disk_gb, walltime_h, seed):
+    """Whatever the requirements, a selected site satisfies all four
+    §6.4 criteria (or None is returned)."""
+    eng = Engine()
+    from repro.fabric import Network
+    net = Network(eng)
+    giis = GIIS(eng, "g")
+    rng = RngRegistry(seed)
+    params = [
+        ("A", dict(disk=1 * TB, outbound_connectivity=True, max_walltime=72 * HOUR)),
+        ("B", dict(disk=100 * GB, outbound_connectivity=False, max_walltime=24 * HOUR)),
+        ("C", dict(disk=4 * TB, outbound_connectivity=True, max_walltime=200 * HOUR)),
+    ]
+    sites = {}
+    for name, kw in params:
+        site = make_site(eng, net, name, **kw)
+        giis.register(name, GRIS(eng, site, ttl=0.0))
+        sites[name] = site
+    selector = SiteSelector(giis, rng)
+    spec = JobSpec(
+        name="prop", vo="usatlas", user="u",
+        runtime=walltime_h * HOUR / 2,
+        walltime_request=walltime_h * HOUR,
+        requires_outbound=outbound,
+        disk_needed=disk_gb * GB,
+    )
+    choice = selector.select(spec)
+    if choice is None:
+        # Verify that genuinely nothing qualifies.
+        for name, site in sites.items():
+            admissible = (
+                (not outbound or site.config.outbound_connectivity)
+                and site.storage.free >= spec.local_disk_footprint
+                and spec.walltime_request <= site.config.max_walltime
+            )
+            assert not admissible
+    else:
+        site = sites[choice]
+        assert not outbound or site.config.outbound_connectivity
+        assert site.storage.free >= spec.local_disk_footprint
+        assert spec.walltime_request <= site.config.max_walltime
+
+
+# --- batch scheduler conservation -------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    runtimes=st.lists(
+        st.floats(min_value=1.0, max_value=10 * HOUR), min_size=1, max_size=25
+    ),
+    cpus=st.integers(min_value=1, max_value=6),
+)
+def test_property_scheduler_conserves_jobs(runtimes, cpus):
+    """Every submitted job terminates exactly once, slots never leak,
+    and total CPU time equals the sum of runtimes."""
+    eng = Engine()
+    from repro.fabric import Network
+    net = Network(eng)
+    site = make_site(eng, net, "S", cpus=cpus, max_walltime=100 * HOUR)
+    sched = BatchScheduler(eng, site)
+    jobs = []
+    for i, runtime in enumerate(runtimes):
+        job = Job(spec=JobSpec(
+            name=f"j{i}", vo="usatlas", user="u",
+            runtime=runtime, walltime_request=50 * HOUR,
+        ))
+        jobs.append(job)
+        sched.submit(job)
+    eng.run()
+    assert all(j.succeeded for j in jobs)
+    assert len(sched.completed) == len(jobs)
+    assert sched.running_count == 0 and sched.queue_length == 0
+    assert site.cluster.busy_cpus == 0
+    total_cpu = sum(j.run_time for j in jobs)
+    assert total_cpu == pytest.approx(sum(runtimes), rel=1e-9)
+    # Makespan lower bound: work / machines.
+    assert eng.now >= sum(runtimes) / cpus - 1e-6

@@ -1,0 +1,83 @@
+"""Tests for the canned scenario library."""
+
+import pytest
+
+from repro import SCENARIOS, Grid3, build_scenario
+from repro.scenarios import (
+    chaos_deployment,
+    full_observation_window,
+    lesson_applied,
+    sc2003_week,
+    stabilized_2004,
+)
+from repro.sim import DAY
+
+
+def test_all_scenarios_registered():
+    assert set(SCENARIOS) == {
+        "sc2003", "full-window", "stabilized-2004",
+        "chaos-deployment", "lesson-applied", "paper-timeline",
+    }
+
+
+def test_scenario_configs_are_distinct():
+    sc = sc2003_week()
+    full = full_observation_window()
+    calm = stabilized_2004()
+    chaos = chaos_deployment()
+    lesson = lesson_applied()
+    assert full.duration_days == 183.0
+    assert sc.duration_days == 37.0
+    # Chaos is genuinely harsher than the stabilised regime.
+    assert (chaos.failures.service_failure_interval
+            < calm.failures.service_failure_interval)
+    assert chaos.misconfig_probability > calm.misconfig_probability
+    assert not chaos.ops_team
+    assert lesson.use_srm and not sc.use_srm
+
+
+def test_build_scenario_overrides():
+    grid = build_scenario("stabilized-2004", seed=7, scale=900)
+    assert isinstance(grid, Grid3)
+    assert grid.config.seed == 7
+    assert grid.config.scale == 900
+
+
+def test_build_scenario_unknown():
+    with pytest.raises(KeyError):
+        build_scenario("nope")
+
+
+def test_paper_timeline_stabilises():
+    """The era schedule produces the §7 arc: worse early efficiency,
+    better late efficiency, within one run."""
+    from repro.scenarios import paper_timeline
+    grid = Grid3(paper_timeline(seed=6, scale=400))
+    grid.config.duration_days = 80.0
+    grid.duration = 80.0 * DAY
+    grid.config.apps = ["ivdgl", "exerciser"]
+    grid.run_full()
+    db = grid.acdc_db
+    early = db.records(until=50 * DAY)
+    late = db.records(since=55 * DAY)
+    if len(early) >= 30 and len(late) >= 30:
+        early_rate = sum(r.succeeded for r in early) / len(early)
+        late_rate = sum(r.succeeded for r in late) / len(late)
+        assert late_rate >= early_rate
+
+
+def test_chaos_vs_stabilized_outcomes():
+    """The scenario library's core claim: the chaotic deployment era has
+    measurably worse job success than the stabilised 2004 regime."""
+    def run(name):
+        grid = build_scenario(name, seed=3, scale=500)
+        grid.config.duration_days = 10.0
+        grid.duration = 10.0 * DAY
+        grid.config.apps = ["ivdgl", "exerciser"]
+        grid.run_full()
+        return grid.acdc_db.success_rate()
+
+    chaos = run("chaos-deployment")
+    stable = run("stabilized-2004")
+    assert stable > chaos
+    assert stable > 0.85

@@ -1,0 +1,143 @@
+"""Tests for the Chimera virtual data catalog and Pegasus planning."""
+
+import pytest
+
+from repro.middleware.rls import LocalReplicaCatalog, ReplicaLocationIndex
+from repro.sim import Engine, GB, HOUR, RngRegistry
+from repro.workflow.chimera import (
+    Derivation,
+    Transformation,
+    VirtualDataCatalog,
+    VirtualDataError,
+)
+from repro.workflow.pegasus import PegasusPlanner
+
+
+@pytest.fixture
+def vdc():
+    """An ATLAS-like two-stage catalog: pythia -> simulation."""
+    catalog = VirtualDataCatalog()
+    catalog.add_transformation(Transformation("pythia", runtime=10 * 60))
+    catalog.add_transformation(
+        Transformation("atlsim", runtime=8 * HOUR, staging="heavy")
+    )
+    catalog.add_derivation(
+        Derivation("gen-001", "pythia", outputs=(("/atlas/gen001", 0.2 * GB),))
+    )
+    catalog.add_derivation(
+        Derivation(
+            "sim-001", "atlsim",
+            inputs=("/atlas/gen001",),
+            outputs=(("/atlas/sim001", 2 * GB),),
+        )
+    )
+    return catalog
+
+
+def test_transformation_validation():
+    with pytest.raises(ValueError):
+        Transformation("bad", runtime=-1)
+
+
+def test_derivation_requires_known_transformation(vdc):
+    with pytest.raises(VirtualDataError):
+        vdc.add_derivation(Derivation("x", "unknown-tr"))
+
+
+def test_conflicting_producers_rejected(vdc):
+    with pytest.raises(VirtualDataError):
+        vdc.add_derivation(
+            Derivation("gen-dup", "pythia", outputs=(("/atlas/gen001", 1.0),))
+        )
+
+
+def test_producer_lookup(vdc):
+    assert vdc.producer_of("/atlas/sim001").derivation_id == "sim-001"
+    assert vdc.producer_of("/raw/unknown") is None
+    assert vdc.transformation("pythia").runtime == 600
+    with pytest.raises(VirtualDataError):
+        vdc.transformation("nope")
+    with pytest.raises(VirtualDataError):
+        vdc.derivation("nope")
+
+
+def test_derive_full_chain(vdc):
+    dax = vdc.derive(["/atlas/sim001"])
+    assert len(dax) == 2
+    assert dax.edges() == [("gen-001", "sim-001")]
+    assert dax.output_sizes()["/atlas/sim001"] == 2 * GB
+
+
+def test_derive_prunes_materialized(vdc):
+    dax = vdc.derive(["/atlas/sim001"], materialized={"/atlas/gen001"})
+    assert set(dax.derivations) == {"sim-001"}
+    assert dax.edges() == []
+
+
+def test_derive_target_already_materialized(vdc):
+    dax = vdc.derive(["/atlas/sim001"], materialized={"/atlas/sim001"})
+    assert len(dax) == 0
+
+
+def test_derive_missing_raw_input_raises(vdc):
+    vdc.add_derivation(
+        Derivation(
+            "reco-001", "atlsim",
+            inputs=("/atlas/sim001", "/calib/yearly-constants"),
+            outputs=(("/atlas/reco001", 1 * GB),),
+        )
+    )
+    with pytest.raises(VirtualDataError):
+        vdc.derive(["/atlas/reco001"])
+    # With the calibration file materialized, planning succeeds.
+    dax = vdc.derive(["/atlas/reco001"], materialized={"/calib/yearly-constants"})
+    assert len(dax) == 3
+
+
+def test_pegasus_plans_concrete_dag(vdc, eng):
+    rls = ReplicaLocationIndex(eng)
+    planner = PegasusPlanner(rls, RngRegistry(7))
+    dax = vdc.derive(["/atlas/sim001"])
+    dag = planner.plan(dax, vo="usatlas", user="prod", archive_site="BNL_ATLAS",
+                       name="atlas-wf")
+    assert len(dag) == 2
+    sim_spec = dag.node("sim-001").spec
+    assert sim_spec.vo == "usatlas"
+    assert sim_spec.archive_site == "BNL_ATLAS"
+    assert sim_spec.staging == "heavy"
+    # The sim's input size was resolved from the upstream output.
+    assert sim_spec.inputs == (("/atlas/gen001", 0.2 * GB),)
+    assert sim_spec.runtime > 0
+    assert sim_spec.walltime_request >= sim_spec.runtime
+    assert planner.planned_workflows == 1
+
+
+def test_pegasus_resolves_input_sizes_from_rls(vdc, eng):
+    rls = ReplicaLocationIndex(eng)
+    rls.attach_lrc(LocalReplicaCatalog("BNL_ATLAS"))
+    rls.register("BNL_ATLAS", "/atlas/gen001", 0.2 * GB)
+    planner = PegasusPlanner(rls, RngRegistry(7))
+    dax = vdc.derive(["/atlas/sim001"], materialized={"/atlas/gen001"})
+    dag = planner.plan(dax, vo="usatlas", user="prod")
+    assert dag.node("sim-001").spec.inputs == (("/atlas/gen001", 0.2 * GB),)
+
+
+def test_pegasus_unresolvable_input_raises(vdc, eng):
+    rls = ReplicaLocationIndex(eng)
+    planner = PegasusPlanner(rls, RngRegistry(7))
+    dax = vdc.derive(["/atlas/sim001"], materialized={"/atlas/gen001"})
+    with pytest.raises(VirtualDataError):
+        planner.plan(dax, vo="usatlas", user="prod")
+
+
+def test_pegasus_runtimes_vary_but_center_on_mean(vdc, eng):
+    rls = ReplicaLocationIndex(eng)
+    planner = PegasusPlanner(rls, RngRegistry(7))
+    runtimes = []
+    for i in range(200):
+        dax = vdc.derive(["/atlas/gen001"])
+        dag = planner.plan(dax, vo="usatlas", user="prod", name=f"wf{i}")
+        runtimes.append(dag.node("gen-001").spec.runtime)
+    mean = sum(runtimes) / len(runtimes)
+    assert 0.85 * 600 <= mean <= 1.15 * 600
+    assert len(set(runtimes)) > 100  # genuinely stochastic
