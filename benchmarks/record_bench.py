@@ -1,0 +1,206 @@
+"""Record a performance snapshot of the three hot paths.
+
+Writes ``BENCH_kernel.json`` (kernel event throughput, 7-day grid wall
+time, MetricStore query latency, experiment sweep speedup) so future
+PRs have a trajectory to regress against.  Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/record_bench.py            # full
+    PYTHONPATH=src python benchmarks/record_bench.py --smoke    # CI
+
+``--smoke`` shrinks every workload so the whole script finishes in well
+under a minute; the numbers are noisier but the file shape is the same.
+
+The ``baseline`` block holds the seed-commit numbers measured with this
+same harness on the same machine (full mode), recorded once when the
+fast paths landed, so before/after is visible in one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Grid3, Grid3Config  # noqa: E402
+from repro.failures import FailureProfile  # noqa: E402
+from repro.lab.experiment import ExperimentSpec, run_experiment  # noqa: E402
+from repro.monitoring.core import MetricSample, MetricStore, make_tags  # noqa: E402
+from repro.sim import Engine  # noqa: E402
+
+#: Seed-commit numbers (full mode, same harness, same machine) recorded
+#: when the kernel/store/runner fast paths landed.  Do not edit unless
+#: re-measuring the actual seed revision.
+BASELINE = {
+    "measured_at": "seed commit 800238b, 2026-08-06, 1-core container",
+    "kernel": {"events": 50000, "best_ms": 67.57, "events_per_sec": 740005},
+    "grid_7day": {"duration_days": 7, "scale400_s": 0.514,
+                  "scale400_records": 243, "scale100_s": 0.847,
+                  "scale100_records": 953},
+    "store": {"samples": 200000, "query_window_us": 10652.0,
+              "query_tagged_us": 16714.7, "latest_tagged_us": 2.19},
+    "sweep": {"sequential_s": 3.367,
+              "note": "seed runner had no workers knob"},
+}
+
+
+def bench_kernel(smoke: bool) -> Dict[str, float]:
+    """Timeout-chain throughput: the test_kernel_event_throughput shape."""
+    chains, length = (10, 500) if smoke else (10, 5000)
+    total = chains * length
+    best = float("inf")
+    for _ in range(3 if smoke else 5):
+        eng = Engine()
+
+        def chain(n, eng=eng):
+            for _ in range(n):
+                yield eng.timeout(1.0)
+
+        for _ in range(chains):
+            eng.process(chain(length))
+        t0 = time.perf_counter()
+        eng.run()
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "events": total,
+        "best_ms": round(best * 1e3, 2),
+        "events_per_sec": round(total / best),
+    }
+
+
+def bench_grid(smoke: bool) -> Dict[str, float]:
+    """Full-mix Grid3 wall time at the two bench scales."""
+    days = 2 if smoke else 7
+    out: Dict[str, float] = {"duration_days": days}
+    for scale in (400, 100):
+        t0 = time.perf_counter()
+        grid = Grid3(Grid3Config(
+            seed=3, scale=scale, duration_days=days,
+            failures=FailureProfile.calm(),
+        ))
+        grid.run_full()
+        out[f"scale{scale}_s"] = round(time.perf_counter() - t0, 3)
+        out[f"scale{scale}_records"] = len(grid.acdc_db)
+    return out
+
+
+def bench_store(smoke: bool) -> Dict[str, float]:
+    """Query/latest latency on a populated multi-site store."""
+    n = 20_000 if smoke else 200_000
+    sites = [f"Site{i}" for i in range(8)]
+    store = MetricStore()
+    for i in range(n):
+        store.append(MetricSample(
+            float(i), "cpu.busy", float(i % 97),
+            make_tags(site=sites[i % len(sites)]),
+        ))
+    reps = 50 if smoke else 200
+    lo, hi = n * 0.45, n * 0.55
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        got = store.query("cpu.busy", since=lo, until=hi)
+    window_us = (time.perf_counter() - t0) / reps * 1e6
+    assert got
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        got = store.query("cpu.busy", since=lo, until=hi, site="Site3")
+    tagged_us = (time.perf_counter() - t0) / reps * 1e6
+    assert got
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        latest = store.latest("cpu.busy", site="Site5")
+    latest_us = (time.perf_counter() - t0) / reps * 1e6
+    assert latest is not None
+
+    return {
+        "samples": n,
+        "query_window_us": round(window_us, 1),
+        "query_tagged_us": round(tagged_us, 1),
+        "latest_tagged_us": round(latest_us, 2),
+    }
+
+
+def _metric_success(grid: Grid3) -> float:
+    return grid.acdc_db.success_rate()
+
+
+def _metric_cpu_days(grid: Grid3) -> float:
+    return grid.acdc_db.total_cpu_days()
+
+
+def bench_sweep(smoke: bool) -> Dict[str, object]:
+    """Sequential vs parallel run_experiment on a small spec."""
+    spec = ExperimentSpec(
+        name="bench-sweep",
+        base=dict(scale=600 if smoke else 200, duration_days=1 if smoke else 2),
+        variants={"calm": {}, "noisy": dict(failures=FailureProfile.early()),
+                  "wide": dict(scale=400 if smoke else 150)},
+        metrics={"success": _metric_success, "cpu_days": _metric_cpu_days},
+        repeats=1 if smoke else 3,
+    )
+    t0 = time.perf_counter()
+    try:
+        seq = run_experiment(spec, workers=1)
+    except TypeError:  # pre-workers runner (seed baseline re-measurement)
+        seq = run_experiment(spec)
+    t_seq = time.perf_counter() - t0
+
+    workers = min(4, os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    try:
+        par = run_experiment(spec, workers=workers)
+    except TypeError:  # pre-workers runner (seed baseline re-measurement)
+        return {"sequential_s": round(t_seq, 3), "workers2_s": None,
+                "note": "runner has no workers knob"}
+    t_par = time.perf_counter() - t0
+    identical = seq == par
+    return {
+        "cells": len(spec.variants) * spec.repeats,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "sequential_s": round(t_seq, 3),
+        "parallel_s": round(t_par, 3),
+        "speedup": round(t_seq / t_par, 2) if t_par else None,
+        "identical_results": identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads (CI smoke job)")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output path (default: BENCH_kernel.json)")
+    args = parser.parse_args()
+
+    current = {}
+    for label, fn in (("kernel", bench_kernel), ("grid_7day", bench_grid),
+                      ("store", bench_store), ("sweep", bench_sweep)):
+        t0 = time.perf_counter()
+        current[label] = fn(args.smoke)
+        print(f"{label}: {current[label]} ({time.perf_counter() - t0:.1f}s)",
+              flush=True)
+
+    snapshot = {
+        "generated_by": "benchmarks/record_bench.py",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "baseline": BASELINE,
+        "current": current,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,11 @@ repeats.
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,20 +94,88 @@ def _run_cell(spec: ExperimentSpec, variant: str, repeat: int) -> Grid3:
     return grid
 
 
+def _run_cell_metrics(
+    spec: ExperimentSpec, variant: str, repeat: int
+) -> Dict[str, float]:
+    """Worker body: run one cell, evaluate every metric in-process.
+
+    Only floats cross the process boundary — a full Grid3 (engine,
+    generators, open simulation state) does not pickle and should not.
+    """
+    grid = _run_cell(spec, variant, repeat)
+    return {metric: float(fn(grid)) for metric, fn in spec.metrics.items()}
+
+
+def _cells_parallel(
+    spec: ExperimentSpec,
+    cells: List[Tuple[str, int]],
+    workers: int,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[Tuple[str, int], Dict[str, float]]:
+    """Fan cells out over a process pool; collect by (variant, repeat)."""
+    values: Dict[Tuple[str, int], Dict[str, float]] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        futures = {
+            pool.submit(_run_cell_metrics, spec, variant, repeat): (variant, repeat)
+            for variant, repeat in cells
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                variant, repeat = futures[future]
+                values[(variant, repeat)] = future.result()
+                if progress is not None:
+                    progress(
+                        f"{spec.name}: {variant} repeat "
+                        f"{repeat + 1}/{spec.repeats} done"
+                    )
+    return values
+
+
 def run_experiment(
     spec: ExperimentSpec,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> List[ExperimentResult]:
-    """Run every (variant × repeat) cell and aggregate the metrics."""
+    """Run every (variant × repeat) cell and aggregate the metrics.
+
+    ``workers`` > 1 fans the cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (each worker builds
+    its own :class:`Grid3`, so cells stay bit-identical to a sequential
+    run); ``workers=None`` means one per CPU.  Results are assembled in
+    declaration order regardless of completion order.  Specs that do not
+    pickle (e.g. lambda metrics) silently run sequentially — correctness
+    first, speedup when the spec allows it.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    cells = [
+        (variant, repeat)
+        for variant in spec.variants
+        for repeat in range(spec.repeats)
+    ]
+    values: Dict[Tuple[str, int], Dict[str, float]] = {}
+    parallel = workers > 1 and len(cells) > 1
+    if parallel:
+        try:
+            pickle.dumps(spec)
+        except Exception:  # noqa: BLE001 - lambdas, closures, local classes
+            parallel = False
+    if parallel:
+        values = _cells_parallel(spec, cells, workers, progress)
+    else:
+        for variant, repeat in cells:
+            if progress is not None:
+                progress(f"{spec.name}: {variant} repeat {repeat + 1}/{spec.repeats}")
+            values[(variant, repeat)] = _run_cell_metrics(spec, variant, repeat)
     results: List[ExperimentResult] = []
     for variant in spec.variants:
         collected: Dict[str, List[float]] = {m: [] for m in spec.metrics}
         for repeat in range(spec.repeats):
-            if progress is not None:
-                progress(f"{spec.name}: {variant} repeat {repeat + 1}/{spec.repeats}")
-            grid = _run_cell(spec, variant, repeat)
-            for metric, fn in spec.metrics.items():
-                collected[metric].append(float(fn(grid)))
+            cell = values[(variant, repeat)]
+            for metric in spec.metrics:
+                collected[metric].append(cell[metric])
         results.append(ExperimentResult(
             variant=variant,
             repeats=spec.repeats,
@@ -121,6 +192,7 @@ def sweep(
     metrics: Dict[str, Callable[[Grid3], float]],
     repeats: int = 1,
     seed0: int = 1000,
+    workers: int = 1,
 ) -> List[ExperimentResult]:
     """Convenience: a one-parameter sweep (variant per value)."""
     variants = {f"{parameter}={value!r}": {parameter: value} for value in values}
@@ -128,7 +200,7 @@ def sweep(
         name=name, base=base, variants=variants,
         metrics=metrics, repeats=repeats, seed0=seed0,
     )
-    return run_experiment(spec)
+    return run_experiment(spec, workers=workers)
 
 
 def render_results(results: List[ExperimentResult]) -> str:

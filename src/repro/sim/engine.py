@@ -20,6 +20,7 @@ bit-identical.
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: Heap priority for "process a triggered event now" entries — these must
@@ -28,7 +29,22 @@ URGENT = 0
 #: Heap priority for ordinary scheduled occurrences.
 NORMAL = 1
 
+#: Heap entries are (time, key, event) 3-tuples where
+#: ``key = priority * _PRIO_BASE + seq`` — priority dominates, insertion
+#: order breaks ties, and the tuple stays one slot smaller than the
+#: naive (time, priority, seq, event) layout on the hottest path.
+_PRIO_BASE = 1 << 52
+_NORMAL_BASE = NORMAL * _PRIO_BASE
+
 PENDING = object()
+
+#: CPython exposes refcounts, which lets the run loop prove a popped
+#: Timeout is unreachable from user code and recycle it.  On other
+#: implementations the pool simply stays empty.
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Upper bound on recycled Timeout objects kept per engine.
+_POOL_CAP = 1024
 
 
 class Interrupt(Exception):
@@ -135,18 +151,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` sim-seconds."""
+    """An event that fires automatically after ``delay`` sim-seconds.
+
+    This is the kernel's dominant allocation (every sleep, queue poll,
+    and monitoring tick is one), so construction is inlined: no
+    ``super().__init__`` / ``_push`` call chain, one direct heappush.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(engine)
-        self.delay = delay
-        self._ok = True
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine._push(engine.now + delay, NORMAL, self)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        engine._seq = seq = engine._seq + 1
+        heapq.heappush(engine._heap, (engine._now + delay, seq + _NORMAL_BASE, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -158,11 +183,14 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, engine: "Engine", process: "Process") -> None:
-        super().__init__(engine)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.engine = engine
+        self.callbacks = [process]
         self._value = None
-        engine._push(engine.now, URGENT, self)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        engine._seq = seq = engine._seq + 1
+        heapq.heappush(engine._heap, (engine._now, seq, self))
 
 
 class Process(Event):
@@ -172,7 +200,7 @@ class Process(Event):
     uncaught exception becomes the event's failure.
     """
 
-    __slots__ = ("generator", "name", "_target")
+    __slots__ = ("generator", "name", "_target", "_gen_send", "_gen_throw")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -180,6 +208,12 @@ class Process(Event):
         super().__init__(engine)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # Parking appends the process itself to an event's callback
+        # list (it is callable, below); Engine.run() recognises it there
+        # and drives the generator without an intermediate frame, using
+        # these prebound send/throw.
+        self._gen_send = generator.send
+        self._gen_throw = generator.throw
         self._target: Optional[Event] = Initialize(engine, self)
 
     @property
@@ -201,11 +235,11 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self)
         self.engine._push(self.engine.now, URGENT, interrupt_event)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._value is not PENDING:
             # An interrupt raced with normal completion at the same
             # instant; the process already finished, nothing to deliver.
             return
@@ -214,27 +248,32 @@ class Process(Event):
         target = self._target
         if target is not None and target is not event and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self)
             except ValueError:
                 pass
         self._target = None
-        self.engine._active_process = self
+        engine = self.engine
+        engine._active_process = self
+        send = self._gen_send
+        throw = self._gen_throw
         try:
             while True:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    exc = event._value
-                    next_event = self.generator.throw(exc)
-                if not isinstance(next_event, Event):
+                    next_event = throw(event._value)
+                if next_event.__class__ is not Timeout and not isinstance(
+                    next_event, Event
+                ):
                     raise TypeError(
                         f"process {self.name!r} yielded non-event {next_event!r}"
                     )
-                if next_event.callbacks is not None:
+                callbacks = next_event.callbacks
+                if callbacks is not None:
                     # Event still pending or triggered-but-unprocessed:
                     # park until it fires.
-                    next_event.callbacks.append(self._resume)
+                    callbacks.append(self)
                     self._target = next_event
                     break
                 # Event already processed: feed its outcome straight back
@@ -245,7 +284,11 @@ class Process(Event):
         except BaseException as exc:  # noqa: BLE001 - becomes the failure value
             self.fail(exc)
         finally:
-            self.engine._active_process = None
+            engine._active_process = None
+
+    #: Parked processes sit directly in event callback lists; the
+    #: generic dispatch path simply calls them.
+    __call__ = _resume
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else ("ok" if self._ok else "failed")
@@ -322,11 +365,64 @@ class AnyOf(ConditionEvent):
 class Engine:
     """The simulation engine: clock plus pending-event heap."""
 
+    # Slots for the per-event-hot attributes; __dict__ stays so the
+    # instance-bound timeout() closure and external instrumentation
+    # (e.g. Tracer patching step) keep working.
+    __slots__ = (
+        "_now", "_heap", "_seq", "_active_process", "_timeout_pool",
+        "_pool1", "__dict__", "__weakref__",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Recycled Timeout objects: a single-slot L1 (the common
+        #: recycle-then-create-next-tick rhythm alternates through it)
+        #: plus an overflow list (see :meth:`run`).
+        self._pool1: Optional[Timeout] = None
+        self._timeout_pool: List[Timeout] = []
+
+        # timeout() is the kernel's hottest factory (every sleep, queue
+        # poll, and monitoring tick), so each engine binds a closure
+        # with the heap and pool preloaded into cells; the instance
+        # attribute shadows the plain method below.
+        heap = self._heap
+        pool = self._timeout_pool
+
+        def timeout(
+            delay: float,
+            value: Any = None,
+            _push=heapq.heappush,
+            _nbase=_NORMAL_BASE,
+            _new=Timeout,
+            _engine=self,
+        ) -> "Timeout":
+            # Pooled timeouts come back pre-reset (empty callbacks
+            # list, _ok True, not processed) — see run().
+            t = _engine._pool1
+            if t is not None:
+                if delay < 0:
+                    raise ValueError(f"negative timeout delay {delay!r}")
+                _engine._pool1 = None
+                t._value = value
+                t.delay = delay
+                _engine._seq = seq = _engine._seq + 1
+                _push(heap, (_engine._now + delay, seq + _nbase, t))
+                return t
+            if pool:
+                if delay < 0:
+                    raise ValueError(f"negative timeout delay {delay!r}")
+                t = pool.pop()
+                t._value = value
+                t.delay = delay
+                _engine._seq = seq = _engine._seq + 1
+                _push(heap, (_engine._now + delay, seq + _nbase, t))
+                return t
+            return _new(_engine, delay, value)
+
+        self.timeout = timeout  # type: ignore[method-assign]
 
     # -- clock --------------------------------------------------------------
     @property
@@ -345,7 +441,28 @@ class Engine:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Reuses a pooled Timeout when one is available — the run loop
+        recycles timeouts it can prove are unreachable, so the dominant
+        "single waiter sleeps" pattern allocates nothing per cycle.
+        (Each instance shadows this method with a preloaded closure; see
+        ``__init__``.  This definition keeps the API discoverable and
+        serves subclasses that override ``__init__``.)
+        """
+        t = self._pool1
+        if t is None and self._timeout_pool:
+            t = self._timeout_pool.pop()
+        elif t is not None:
+            self._pool1 = None
+        if t is not None:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay!r}")
+            t._value = value
+            t.delay = delay
+            self._seq = seq = self._seq + 1
+            heapq.heappush(self._heap, (self._now + delay, seq + _NORMAL_BASE, t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -363,7 +480,7 @@ class Engine:
     # -- scheduling internals -------------------------------------------------
     def _push(self, time: float, priority: int, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        heapq.heappush(self._heap, (time, priority * _PRIO_BASE + self._seq, event))
 
     def _schedule_event(self, event: Event) -> None:
         """Queue a just-triggered event's callback processing."""
@@ -374,7 +491,7 @@ class Engine:
         """Process one event.  Returns False if the heap is empty."""
         if not self._heap:
             return False
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, _key, event = heapq.heappop(self._heap)
         if time < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = time
@@ -394,7 +511,135 @@ class Engine:
 
         When ``until`` is given the clock is advanced to exactly that
         time even if no event falls on it.
+
+        This is the kernel's hottest loop, so :meth:`step` and
+        :meth:`Event._process` are inlined here: one heappop, one clock
+        store, and the callback sweep per event, with heap/pool bound to
+        locals.  After an event's callbacks have run, a Timeout whose
+        refcount proves nothing else can ever observe it again is
+        recycled into the engine pool (CPython only; elsewhere the pool
+        stays empty and behavior is identical).
         """
+        if "step" in self.__dict__:
+            # step() has been instance-patched (e.g. by a Tracer): take
+            # the slow path so the instrumentation sees every event.
+            return self._run_stepped(until)
+        if until is None:
+            limit = float("inf")
+        else:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            limit = until
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._timeout_pool
+        getref = _getrefcount
+        pending = PENDING
+        timeout_cls = Timeout
+        process_cls = Process
+        pool_cap = _POOL_CAP
+        while heap:
+            time, _key, event = pop(heap)
+            if time > limit:
+                # Past the horizon: put the entry back (at most once per
+                # run() call) and stop.
+                heapq.heappush(heap, (time, _key, event))
+                break
+            self._now = time
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if event.__class__ is timeout_cls and len(callbacks) == 1:
+                # The dominant pattern: one waiter sleeping on a
+                # timeout.  Timeouts are born succeeded (no _ok/_defused
+                # checks needed) and are pool candidates afterwards.
+                cb = callbacks[0]
+                if cb.__class__ is process_cls:
+                    # A parked process: it is alive, waiting on exactly
+                    # this event.  Drive its generator right here — no
+                    # _resume frame, no detach bookkeeping.
+                    self._active_process = cb
+                    try:
+                        next_event = cb._gen_send(event._value)
+                    except StopIteration as stop:
+                        self._active_process = None
+                        cb._target = None
+                        cb.succeed(stop.value)
+                    except BaseException as exc:  # noqa: BLE001
+                        self._active_process = None
+                        cb._target = None
+                        cb.fail(exc)
+                    else:
+                        self._active_process = None
+                        if next_event.__class__ is timeout_cls:
+                            ncbs = next_event.callbacks
+                            if ncbs is not None:
+                                # Park on the fresh timeout.
+                                ncbs.append(cb)
+                                cb._target = next_event
+                            else:
+                                # Already-processed timeout: continue
+                                # inline through the generic path.
+                                cb._target = None
+                                cb._resume(next_event)
+                        elif isinstance(next_event, Event):
+                            ncbs = next_event.callbacks
+                            if ncbs is not None:
+                                ncbs.append(cb)
+                                cb._target = next_event
+                            else:
+                                cb._target = None
+                                cb._resume(next_event)
+                        else:
+                            cb._target = None
+                            cb.fail(TypeError(
+                                f"process {cb.name!r} yielded non-event "
+                                f"{next_event!r}"
+                            ))
+                else:
+                    cb(event)
+                if getref is not None and getref(event) == 2:
+                    # Two references: the ``event`` local and
+                    # getrefcount's argument.  Anything user-visible
+                    # would add a third.  Reset in place (reusing the
+                    # detached callbacks list) so timeout()'s pooled
+                    # path is a few stores.
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._processed = False
+                    if self._pool1 is None:
+                        self._pool1 = event
+                    elif len(pool) < pool_cap:
+                        pool.append(event)
+                continue
+            if event._value is pending:
+                # A cancelled entry (see :meth:`step`).
+                event.callbacks = callbacks
+                event._processed = False
+                continue
+            for callback in callbacks or ():
+                callback(event)
+            if event._ok is False and not event._defused:
+                raise SimulationError(
+                    f"unhandled failure in {event!r}: {event._value!r}"
+                ) from event._value
+            if (
+                event.__class__ is timeout_cls
+                and getref is not None
+                and getref(event) == 2
+            ):
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._processed = False
+                if self._pool1 is None:
+                    self._pool1 = event
+                elif len(pool) < pool_cap:
+                    pool.append(event)
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def _run_stepped(self, until: Optional[float] = None) -> None:
+        """The pre-inlining run loop, one ``self.step()`` call per event."""
         if until is None:
             while self.step():
                 pass

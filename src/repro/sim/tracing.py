@@ -65,7 +65,7 @@ class Tracer:
 
     def _traced_step(self) -> bool:
         heap = self.engine._heap
-        upcoming = heap[0][3] if heap else None
+        upcoming = heap[0][-1] if heap else None
         progressed = self._original_step()
         if progressed and upcoming is not None and upcoming.processed:
             kind, label = _describe(upcoming)

@@ -1,0 +1,89 @@
+"""run_experiment(workers=N) must match the sequential runner exactly."""
+
+import os
+import time
+
+import pytest
+
+from repro.failures import FailureProfile
+from repro.lab.experiment import ExperimentSpec, run_experiment, sweep
+
+
+# Module-level so the spec pickles into worker processes.
+def metric_success(grid):
+    return grid.acdc_db.success_rate()
+
+
+def metric_cpu_days(grid):
+    return grid.acdc_db.total_cpu_days()
+
+
+def _small_spec():
+    return ExperimentSpec(
+        name="parity",
+        base=dict(scale=900, duration_days=1),
+        variants={
+            "calm": dict(failures=FailureProfile.calm()),
+            "noisy": dict(failures=FailureProfile.early()),
+            "wide": dict(scale=700),
+        },
+        metrics={"success": metric_success, "cpu_days": metric_cpu_days},
+        repeats=2,
+    )
+
+
+def test_workers2_identical_to_sequential():
+    spec = _small_spec()
+    seq = run_experiment(spec, workers=1)
+    par = run_experiment(spec, workers=2)
+    assert seq == par
+    # Ordering is declaration order, not completion order.
+    assert [r.variant for r in par] == ["calm", "noisy", "wide"]
+    assert all(r.repeats == 2 for r in par)
+
+
+def test_unpicklable_metrics_fall_back_to_sequential():
+    spec = _small_spec()
+    spec.metrics = {"success": lambda grid: grid.acdc_db.success_rate()}
+    ref = run_experiment(spec, workers=1)
+    got = run_experiment(spec, workers=4)  # silently sequential
+    assert got == ref
+
+
+def test_workers_none_uses_cpu_count():
+    spec = _small_spec()
+    spec.variants = {"calm": {}}
+    spec.repeats = 2
+    assert run_experiment(spec, workers=None) == run_experiment(spec, workers=1)
+
+
+def test_sweep_workers_passthrough():
+    results = sweep(
+        "scale-sweep",
+        base=dict(duration_days=1),
+        parameter="scale",
+        values=[900, 800],
+        metrics={"success": metric_success},
+        workers=2,
+    )
+    assert [r.variant for r in results] == ["scale=900", "scale=800"]
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup is only observable with >=4 cores",
+)
+def test_parallel_speedup_on_multicore():
+    """On real multi-core hardware a 3-variant x 3-repeat spec must beat
+    sequential by >1.5x."""
+    spec = _small_spec()
+    spec.base = dict(scale=300, duration_days=2)
+    spec.repeats = 3
+    t0 = time.perf_counter()
+    seq = run_experiment(spec, workers=1)
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = run_experiment(spec, workers=4)
+    t_par = time.perf_counter() - t0
+    assert seq == par
+    assert t_seq / t_par > 1.5, f"speedup {t_seq / t_par:.2f}"

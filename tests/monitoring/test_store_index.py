@@ -1,0 +1,196 @@
+"""Property tests: the indexed MetricStore must be behaviorally
+identical to the legacy linear-scan implementation.
+
+The reference model below is a verbatim transcription of the seed
+``MetricStore`` (deque ring + full scan per query); hypothesis drives
+both through random append/query interleavings — including ring
+eviction and out-of-order appends — and every observable must agree.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring.core import MetricSample, MetricStore, make_tags
+
+
+class LinearScanStore:
+    """The seed implementation, kept as the behavioral oracle."""
+
+    def __init__(self, max_samples=None):
+        self._samples = {}
+        self.max_samples = max_samples
+
+    def append(self, sample):
+        series = self._samples.get(sample.name)
+        if series is None:
+            series = deque(maxlen=self.max_samples)
+            self._samples[sample.name] = series
+        series.append(sample)
+
+    def names(self):
+        return sorted(self._samples)
+
+    def query(self, name, since=-float("inf"), until=float("inf"), **tag_filter):
+        out = []
+        for sample in self._samples.get(name, ()):
+            if not since <= sample.time <= until:
+                continue
+            if all(sample.tag(k) == str(v) for k, v in tag_filter.items()):
+                out.append(sample)
+        return out
+
+    def latest(self, name, **tag_filter):
+        for sample in reversed(self._samples.get(name, ())):
+            if all(sample.tag(k) == str(v) for k, v in tag_filter.items()):
+                return sample
+        return None
+
+    def __len__(self):
+        return sum(len(v) for v in self._samples.values())
+
+
+NAMES = ["cpu", "net", "disk"]
+SITES = ["A", "B", "C"]
+VOS = ["atlas", "cms"]
+
+sample_strategy = st.builds(
+    lambda t, name, value, site, vo, tagged: MetricSample(
+        t, name, value, make_tags(site=site, vo=vo) if tagged else ()
+    ),
+    t=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    name=st.sampled_from(NAMES),
+    value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    site=st.sampled_from(SITES),
+    vo=st.sampled_from(VOS),
+    tagged=st.booleans(),
+)
+
+
+def _fill(samples, max_samples, monotone):
+    """Both stores loaded with the same stream."""
+    if monotone:
+        samples = sorted(samples, key=lambda s: s.time)
+    store = MetricStore(max_samples=max_samples)
+    oracle = LinearScanStore(max_samples=max_samples)
+    for s in samples:
+        store.append(s)
+        oracle.append(s)
+    return store, oracle
+
+
+def _check_agreement(store, oracle, windows):
+    assert len(store) == len(oracle)
+    assert store.names() == oracle.names()
+    filters = [{}, {"site": "A"}, {"site": "B", "vo": "atlas"}, {"vo": "cms"},
+               {"site": "nope"}]
+    for name in NAMES + ["absent"]:
+        for tf in filters:
+            assert store.latest(name, **tf) == oracle.latest(name, **tf), (
+                name, tf)
+        for since, until in windows:
+            for tf in filters:
+                assert store.query(name, since, until, **tf) == oracle.query(
+                    name, since, until, **tf
+                ), (name, since, until, tf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(sample_strategy, max_size=80),
+    max_samples=st.sampled_from([None, 1, 7, 25]),
+    monotone=st.booleans(),
+    windows=st.lists(
+        st.tuples(
+            st.floats(min_value=-10, max_value=1100, allow_nan=False),
+            st.floats(min_value=-10, max_value=1100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_indexed_store_matches_linear_scan(samples, max_samples, monotone, windows):
+    """Random streams, random windows/filters, ring eviction, and both
+    time-ordered and out-of-order arrival orders."""
+    store, oracle = _fill(samples, max_samples, monotone)
+    _check_agreement(store, oracle, windows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    samples=st.lists(sample_strategy, min_size=5, max_size=60),
+    max_samples=st.sampled_from([None, 9]),
+)
+def test_queries_interleaved_with_appends(samples, max_samples):
+    """Querying mid-stream (forcing early index builds) must not
+    disturb later results."""
+    samples = sorted(samples, key=lambda s: s.time)
+    store = MetricStore(max_samples=max_samples)
+    oracle = LinearScanStore(max_samples=max_samples)
+    mid = len(samples) // 2
+    for s in samples[:mid]:
+        store.append(s)
+        oracle.append(s)
+    # Touch every series with an indexed query so the index exists
+    # while the back half streams in.
+    for name in NAMES:
+        assert store.query(name, 0.0, 500.0, site="A") == oracle.query(
+            name, 0.0, 500.0, site="A"
+        )
+    for s in samples[mid:]:
+        store.append(s)
+        oracle.append(s)
+    _check_agreement(store, oracle, [(0.0, 1000.0), (250.0, 750.0)])
+
+
+def test_heavy_eviction_keeps_index_consistent():
+    """Long monotone stream through a tiny ring: postings and the time
+    column must track the survivors exactly."""
+    store = MetricStore(max_samples=16)
+    oracle = LinearScanStore(max_samples=16)
+    for i in range(3000):
+        s = MetricSample(float(i), "cpu", float(i % 13),
+                         make_tags(site=SITES[i % 3]))
+        store.append(s)
+        oracle.append(s)
+        if i % 97 == 0:  # keep the index live through evictions
+            store.query("cpu", since=i - 50, until=i, site="A")
+    _check_agreement(store, oracle, [(2980, 3000), (0, 3000), (2990, 2991)])
+
+
+def test_series_columnar_accessor():
+    store = MetricStore()
+    for i in range(10):
+        store.append(MetricSample(float(i), "cpu", float(i * 2)))
+    times, values = store.series("cpu")
+    assert isinstance(times, np.ndarray) and isinstance(values, np.ndarray)
+    np.testing.assert_allclose(times, np.arange(10.0))
+    np.testing.assert_allclose(values, np.arange(10.0) * 2)
+    empty_t, empty_v = store.series("absent")
+    assert empty_t.size == 0 and empty_v.size == 0
+
+
+def test_len_is_constant_time_counter():
+    store = MetricStore(max_samples=5)
+    for i in range(37):
+        store.append(MetricSample(float(i), "m", 1.0))
+        store.append(MetricSample(float(i), "n", 1.0))
+    assert len(store) == 10  # two series, both saturated at maxlen=5
+
+
+def test_out_of_order_append_falls_back():
+    """A decreasing-time append flips the series to the legacy scan —
+    queries must still match the oracle exactly."""
+    store = MetricStore()
+    oracle = LinearScanStore()
+    stream = [5.0, 9.0, 2.0, 7.0, 7.0, 1.0]
+    for t in stream:
+        s = MetricSample(t, "cpu", t, make_tags(site="A"))
+        store.append(s)
+        oracle.append(s)
+    assert store.query("cpu", 2.0, 8.0) == oracle.query("cpu", 2.0, 8.0)
+    assert store.query("cpu", site="A") == oracle.query("cpu", site="A")
+    assert store.latest("cpu", site="A") == oracle.latest("cpu", site="A")
