@@ -7,6 +7,7 @@ Subcommands
 ``figures``    run and print any of the paper's figures (2-6) and Table 1
 ``catalog``    print the reconstructed 27-site catalog
 ``export``     run and dump the ACDC job records as CSV
+``health``     run and print the per-site, per-service availability table
 
 Examples::
 
@@ -170,6 +171,19 @@ def cmd_export(args, out=print) -> int:
     return 0
 
 
+def cmd_health(args, out=print) -> int:
+    from .services import render_availability, total_downtime
+    grid = _build_grid(args)
+    grid.run_full()
+    rows = grid.availability_report()
+    if args.site:
+        rows = [r for r in rows if r.site == args.site]
+    out(render_availability(rows))
+    out(f"\ntotal downtime: {total_downtime(rows) / 3600.0:.1f} h "
+        f"across {sum(r.outages for r in rows)} outages")
+    return 0
+
+
 def cmd_report(args, out=print) -> int:
     from .ops.reports import weekly_report
     grid = _build_grid(args)
@@ -222,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(p_exp)
     p_exp.add_argument("--output", "-o", help="destination file (default stdout)")
     p_exp.set_defaults(func=cmd_export)
+
+    p_health = sub.add_parser(
+        "health", help="per-site, per-service availability from the ledgers"
+    )
+    _add_run_options(p_health)
+    p_health.add_argument("--site", help="restrict the table to one site")
+    p_health.set_defaults(func=cmd_health)
 
     p_rep = sub.add_parser("report", help="weekly iGOC operations reports")
     _add_run_options(p_rep)

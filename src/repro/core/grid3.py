@@ -70,6 +70,7 @@ from ..monitoring import (
     MDViewer,
     MonALISAAgent,
     MonALISARepository,
+    ServiceHealthAgent,
     SiteStatusCatalog,
     TransferLedger,
 )
@@ -136,6 +137,8 @@ class Grid3:
     """A fully wired Grid3 instance."""
 
     def __init__(self, config: Optional[Grid3Config] = None) -> None:
+        from .job import reset_job_ids
+        reset_job_ids()
         self.config = config or Grid3Config()
         cfg = self.config
         self.engine = Engine()
@@ -170,7 +173,7 @@ class Grid3:
         # Data management.
         self.rls = ReplicaLocationIndex(self.engine)
         for name in self.sites:
-            self.rls.attach_lrc(LocalReplicaCatalog(name))
+            self.rls.attach_lrc(LocalReplicaCatalog(name, engine=self.engine))
         self.ledger = TransferLedger()
 
         # Central services at the iGOC (§5.4).
@@ -267,11 +270,16 @@ class Grid3:
             MonALISAAgent(self.engine, site, repository, GRID3_VOS, interval=_HOUR)
         acdc = ACDCJobMonitor(self.engine, sites)
         status_catalog = SiteStatusCatalog(self.engine, sites)
+        service_health = ServiceHealthAgent(
+            self.engine, sites, interval=_HOUR,
+            extra_services=self._central_services(),
+        )
         self.monitors = {
             "ganglia": ganglia_web,
             "monalisa": repository,
             "acdc": acdc,
             "status": status_catalog,
+            "service-health": service_health,
         }
         for name, service in self.monitors.items():
             self.igoc.host(name, service)
@@ -408,6 +416,25 @@ class Grid3:
             repository=self.monitors.get("monalisa"),
             ledger=self.ledger,
             calendar=self.calendar,
+        )
+
+    def _central_services(self) -> Dict[str, object]:
+        """The off-site GridServices (RLS index, VOMS servers), keyed by
+        the display name used as their 'site' in health reports."""
+        central: Dict[str, object] = {"igoc-rls": self.rls}
+        for vo, server in self.voms.items():
+            central[f"voms-{vo}"] = server
+        return central
+
+    def availability_report(
+        self, since: float = 0.0, until: Optional[float] = None
+    ):
+        """Per-(site, role) availability rows from the downtime ledgers,
+        including the central RLS/VOMS services."""
+        from ..services import availability_rows
+        return availability_rows(
+            self.sites.values(), since=since, until=until,
+            extra_services=self._central_services(),
         )
 
     def total_cpus(self) -> int:

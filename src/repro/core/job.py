@@ -108,6 +108,14 @@ class JobSpec:
 _job_ids = itertools.count(1)
 
 
+def reset_job_ids(start: int = 1) -> None:
+    """Restart job numbering.  Each Grid3 build calls this, so two
+    same-seed runs produce byte-identical job records even within one
+    process (the counter is otherwise module-global)."""
+    global _job_ids
+    _job_ids = itertools.count(start)
+
+
 @dataclass
 class Job:
     """One attempt to run a spec on a specific site."""

@@ -22,20 +22,41 @@ from typing import Dict, List, Optional
 
 from ..errors import ReplicaNotFoundError, StorageFullError
 from ..fabric.storage import FileObject, StorageElement
+from ..services import GridService
 from ..sim.engine import Engine
 
 
-class Pool:
-    """One disk pool: a StorageElement plus liveness."""
+class Pool(GridService):
+    """One disk pool: a StorageElement plus the service lifecycle.
+
+    Pool outages are first-class service outages: :meth:`fail` /
+    :meth:`restore` (via the manager's ``fail_pool``/``restore_pool``)
+    land in the downtime ledger, so Tier1 pool availability is
+    accounted exactly like a gatekeeper's or GridFTP server's.
+    """
+
+    _counter_names = ("reads",)
 
     def __init__(self, engine: Engine, name: str, capacity: float) -> None:
+        super().__init__(role="pool", owner=name, engine=engine)
         self.storage = StorageElement(engine, name, capacity)
-        self.online = True
         self.reads = 0
 
     @property
     def name(self) -> str:
         return self.storage.name
+
+    @property
+    def online(self) -> bool:
+        """Liveness alias kept for the SE-compatible surface."""
+        return self.available
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        if value:
+            self.restore(note="online flag set")
+        else:
+            self.fail("online flag cleared")
 
     def __repr__(self) -> str:
         state = "up" if self.online else "down"
@@ -156,10 +177,15 @@ class DCachePoolManager:
             holders.append(pool)
         return len([p for p in holders if p.online])
 
-    def fail_pool(self, pool: Pool) -> List[str]:
+    def fail_pool(self, pool: Pool, cause: str = "pool failure") -> List[str]:
         """Take a pool offline; returns LFNs that lost their *last*
-        online replica (the isolation benefit: everything else survives)."""
-        pool.online = False
+        online replica (the isolation benefit: everything else survives).
+
+        The outage is recorded in the pool's downtime ledger with its
+        ``cause``, so injected pool failures are accounted exactly like
+        any other service outage.
+        """
+        pool.fail(cause)
         lost = []
         for lfn, holders in self._locations.items():
             if pool in holders and not any(p.online for p in holders):
@@ -167,7 +193,8 @@ class DCachePoolManager:
         return sorted(lost)
 
     def restore_pool(self, pool: Pool) -> None:
-        pool.online = True
+        """Bring a pool back online, closing its ledger outage."""
+        pool.restore(note="pool repaired")
 
     def drain_pool(self, pool: Pool) -> int:
         """Maintenance drain: migrate the pool's files elsewhere, then
@@ -198,7 +225,7 @@ class DCachePoolManager:
                 migrated += 1
             pool.storage.delete(lfn)
             holders.remove(pool)
-        pool.online = False
+        pool.fail("maintenance drain")
         return migrated
 
     # -- full StorageElement interface compatibility --------------------------

@@ -29,9 +29,9 @@ from ..errors import (
     AuthenticationError,
     AuthorizationError,
     GatekeeperOverloadError,
-    ServiceUnavailableError,
     SubmissionError,
 )
+from ..services import GridService, ServiceLog
 from ..sim.engine import Engine
 from ..sim.units import MINUTE
 from .gsi import Authenticator, Proxy
@@ -44,8 +44,18 @@ SUBMISSION_SPIKE_LOAD = 0.5
 DEFAULT_OVERLOAD_THRESHOLD = 450.0
 
 
-class Gatekeeper:
+class Gatekeeper(GridService):
     """A site's GRAM gatekeeper: auth, load accounting, LRM hand-off."""
+
+    #: Retained GRAM log lines (ring semantics via ServiceLog).
+    LOG_LIMIT = 50_000
+
+    _counter_names = (
+        "submissions_accepted",
+        "submissions_rejected",
+        "overload_rejections",
+        "peak_load",
+    )
 
     def __init__(
         self,
@@ -54,7 +64,7 @@ class Gatekeeper:
         authenticator: Authenticator,
         overload_threshold: float = DEFAULT_OVERLOAD_THRESHOLD,
     ) -> None:
-        self.engine = engine
+        super().__init__(role="gatekeeper", owner=site.name, engine=engine)
         self.site = site
         self.authenticator = authenticator
         self.overload_threshold = overload_threshold
@@ -62,7 +72,6 @@ class Gatekeeper:
         self.managed: Dict[int, Job] = {}
         #: Recent submission timestamps for the spike term.
         self._recent_submissions: deque = deque()
-        self.available = True
         #: The local resource manager; wired by the grid builder.
         self.lrm = None
         #: Counters for §8's requested accounting APIs.
@@ -71,7 +80,7 @@ class Gatekeeper:
         self.overload_rejections = 0
         self.peak_load = 0.0
         #: GRAM log (start/end/error lines MonALISA agents tail, §5.2).
-        self.log: List[tuple] = []
+        self.log = ServiceLog(self.LOG_LIMIT)
 
     # -- load model -----------------------------------------------------------
     def _prune_spikes(self) -> None:
@@ -95,9 +104,12 @@ class Gatekeeper:
         return len(self.managed)
 
     def _record(self, event: str, job_id: int, detail: str = "") -> None:
-        if len(self.log) > 50_000:
-            del self.log[:25_000]
         self.log.append((self.engine.now, event, job_id, detail))
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out["managed_jobs"] = float(self.managed_count)
+        return out
 
     # -- submission protocol --------------------------------------------------
     def submit(self, proxy: Proxy, spec: JobSpec) -> Job:
@@ -108,8 +120,7 @@ class Gatekeeper:
         ServiceUnavailableError when the gatekeeper (or its LRM) is down,
         and SubmissionError if no LRM is attached.
         """
-        if not self.available:
-            raise ServiceUnavailableError(f"gatekeeper at {self.site.name} is down")
+        self.require_available("job submission")
         account = self.authenticator.authenticate(proxy)  # may raise
         current_load = self.load()
         self.peak_load = max(self.peak_load, current_load)

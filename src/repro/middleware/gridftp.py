@@ -19,10 +19,10 @@ from typing import List, Optional
 
 from ..errors import (
     NetworkInterruptionError,
-    ServiceUnavailableError,
     StorageFullError,
     TransferError,
 )
+from ..services import GridService, ServiceLog
 from ..sim.engine import Engine
 from ..sim.resources import Resource
 from ..sim.units import SECOND
@@ -40,11 +40,18 @@ class NetLoggerEvent:
     detail: str = ""
 
 
-class GridFTPServer:
+class GridFTPServer(GridService):
     """A site's GridFTP endpoint: connection pool + instrumentation."""
 
     #: Keep at most this many NetLogger events per server (ring buffer).
     NETLOG_LIMIT = 10_000
+
+    _counter_names = (
+        "bytes_sent",
+        "bytes_received",
+        "transfers_ok",
+        "transfers_failed",
+    )
 
     def __init__(
         self,
@@ -53,12 +60,11 @@ class GridFTPServer:
         max_connections: int = 16,
         setup_latency: float = 2 * SECOND,
     ) -> None:
-        self.engine = engine
+        super().__init__(role="gridftp", owner=site.name, engine=engine)
         self.site = site
         self.connections = Resource(engine, max_connections)
         self.setup_latency = setup_latency
-        self.available = True
-        self.netlogger: List[NetLoggerEvent] = []
+        self.netlogger: ServiceLog = ServiceLog(self.NETLOG_LIMIT)
         #: Lifetime counters for the monitoring layer.
         self.bytes_sent = 0.0
         self.bytes_received = 0.0
@@ -67,8 +73,9 @@ class GridFTPServer:
 
     def log(self, event: str, lfn: str, size: float, detail: str = "") -> None:
         """Append a NetLogger record (bounded)."""
-        if len(self.netlogger) >= self.NETLOG_LIMIT:
-            del self.netlogger[: self.NETLOG_LIMIT // 2]
+        # NETLOG_LIMIT is an overridable (class or instance) knob; keep
+        # the ring bound in sync with whatever the caller set it to.
+        self.netlogger.capacity = self.NETLOG_LIMIT
         self.netlogger.append(
             NetLoggerEvent(self.engine.now, event, self.site.name, lfn, size, detail)
         )
@@ -113,9 +120,7 @@ def transfer(
     for server in (src_server, dst_server):
         if not server.available:
             server.transfers_failed += 1
-            raise ServiceUnavailableError(
-                f"GridFTP server at {server.site.name} is down"
-            )
+        server.require_available(f"transfer of {lfn}")
 
     # Acquire connection slots in a canonical (site-name) order so that
     # opposing transfer pairs (A->B while B->A) can never deadlock on

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ServiceUnavailableError
+from ..services import GridService
 from ..sim.engine import Engine
 from ..sim.units import MINUTE
 
@@ -66,28 +67,28 @@ def glue_record(site) -> Dict[str, object]:
     }
 
 
-class GRIS:
+class GRIS(GridService):
     """A site's information provider: cached GLUE record with a TTL.
 
     MDS GRIS answers queries from a cache refreshed by information
     providers; a short TTL trades staleness for provider load.
     """
 
+    _counter_names = ("queries_served",)
+
     def __init__(self, engine: Engine, site, ttl: float = 5 * MINUTE,
                  provider: Optional[Callable] = None) -> None:
-        self.engine = engine
+        super().__init__(role="gris", owner=site.name, engine=engine)
         self.site = site
         self.ttl = ttl
         self.provider = provider or glue_record
         self._cache: Optional[Dict[str, object]] = None
         self._cached_at = -float("inf")
-        self.available = True
         self.queries_served = 0
 
     def query(self) -> Dict[str, object]:
         """The site's current record (cached within the TTL)."""
-        if not self.available:
-            raise ServiceUnavailableError(f"GRIS at {self.site.name} is down")
+        self.require_available("GLUE query")
         now = self.engine.now
         if self._cache is None or now - self._cached_at >= self.ttl:
             self._cache = self.provider(self.site)
@@ -100,7 +101,7 @@ class GRIS:
         self._cache = None
 
 
-class GIIS:
+class GIIS(GridService):
     """An index server aggregating GRIS (or lower GIIS) registrations.
 
     Registrations are soft-state: they expire unless renewed, so a dead
@@ -108,12 +109,11 @@ class GIIS:
     """
 
     def __init__(self, engine: Engine, name: str, registration_ttl: float = 30 * MINUTE) -> None:
-        self.engine = engine
+        super().__init__(role="giis", owner=name, engine=engine)
         self.name = name
         self.registration_ttl = registration_ttl
         #: site name -> (GRIS-or-GIIS, last renewal time)
         self._registry: Dict[str, tuple] = {}
-        self.available = True
 
     def register(self, name: str, source) -> None:
         """Register (or renew) a source under ``name``."""
@@ -134,8 +134,7 @@ class GIIS:
 
     def query(self, name: str) -> Dict[str, object]:
         """Fetch one registrant's record (raises if expired/unknown/down)."""
-        if not self.available:
-            raise ServiceUnavailableError(f"GIIS {self.name} is down")
+        self.require_available(f"query of {name}")
         entry = self._registry.get(name)
         if entry is None:
             raise KeyError(name)
@@ -150,8 +149,7 @@ class GIIS:
         Skipping (rather than failing) mirrors real MDS behaviour: one
         dead site must not take the whole index down.
         """
-        if not self.available:
-            raise ServiceUnavailableError(f"GIIS {self.name} is down")
+        self.require_available("index sweep")
         records = []
         for name in self.registered_names():
             try:

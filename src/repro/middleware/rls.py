@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..errors import ReplicaNotFoundError, ServiceUnavailableError
+from ..services import GridService
 from ..sim.engine import Engine
 
 
@@ -30,13 +31,13 @@ class Replica:
     size: float
 
 
-class LocalReplicaCatalog:
+class LocalReplicaCatalog(GridService):
     """LFN → physical replicas at one site."""
 
-    def __init__(self, site_name: str) -> None:
+    def __init__(self, site_name: str, engine: Optional[Engine] = None) -> None:
+        super().__init__(role="lrc", owner=site_name, engine=engine)
         self.site_name = site_name
         self._replicas: Dict[str, Replica] = {}
-        self.available = True
 
     def __len__(self) -> int:
         return len(self._replicas)
@@ -61,8 +62,7 @@ class LocalReplicaCatalog:
 
     def lookup(self, lfn: str) -> Replica:
         """The local replica of ``lfn`` (raises ReplicaNotFoundError)."""
-        if not self.available:
-            raise ServiceUnavailableError(f"LRC at {self.site_name} is down")
+        self.require_available(f"lookup of {lfn}")
         try:
             return self._replicas[lfn]
         except KeyError:
@@ -72,22 +72,30 @@ class LocalReplicaCatalog:
         """All logical names catalogued here."""
         return sorted(self._replicas)
 
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out["replicas"] = float(len(self._replicas))
+        return out
 
-class ReplicaLocationIndex:
+
+class ReplicaLocationIndex(GridService):
     """Global LFN → {site} index over all LRCs."""
 
+    _counter_names = ("registrations", "lookups")
+
     def __init__(self, engine: Engine) -> None:
-        self.engine = engine
+        super().__init__(role="rls", owner="grid", engine=engine)
         self._lrcs: Dict[str, LocalReplicaCatalog] = {}
         self._index: Dict[str, Set[str]] = {}
-        self.available = True
         #: Lifetime registration count (monitoring/Table-1 feeds).
         self.registrations = 0
         self.lookups = 0
 
     # -- topology -----------------------------------------------------------
     def attach_lrc(self, lrc: LocalReplicaCatalog) -> None:
-        """Register a site's LRC with the index."""
+        """Register a site's LRC with the index (sharing our clock if
+        the LRC was built without one)."""
+        lrc.adopt_engine(self.engine)
         self._lrcs[lrc.site_name] = lrc
 
     def lrc(self, site_name: str) -> LocalReplicaCatalog:
@@ -102,8 +110,7 @@ class ReplicaLocationIndex:
         toward ATLAS's 30 % (§6.1) — callers treat exceptions here as a
         job failure.
         """
-        if not self.available:
-            raise ServiceUnavailableError("RLS index is down")
+        self.require_available(f"registration of {lfn}")
         replica = self._lrcs[site_name].add(lfn, size)
         self._index.setdefault(lfn, set()).add(site_name)
         self.registrations += 1
@@ -123,8 +130,7 @@ class ReplicaLocationIndex:
     # -- queries ------------------------------------------------------------
     def sites_with(self, lfn: str) -> List[str]:
         """Sites holding a replica of ``lfn`` (empty list if none)."""
-        if not self.available:
-            raise ServiceUnavailableError("RLS index is down")
+        self.require_available(f"lookup of {lfn}")
         self.lookups += 1
         return sorted(self._index.get(lfn, ()))
 

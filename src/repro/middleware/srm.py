@@ -19,16 +19,19 @@ from typing import Dict, List, Optional
 
 from ..errors import ReservationError, StorageFullError
 from ..fabric.storage import Reservation, StorageElement
+from ..services import GridService
 from ..sim.engine import Engine
 from ..sim.units import HOUR
 
 
-class SRMService:
+class SRMService(GridService):
     """Space management in front of one storage element."""
+
+    _counter_names = ("reservations_granted", "reservations_denied")
 
     def __init__(self, engine: Engine, storage: StorageElement,
                  default_lifetime: float = 48 * HOUR) -> None:
-        self.engine = engine
+        super().__init__(role="srm", owner=storage.name, engine=engine)
         self.storage = storage
         self.default_lifetime = default_lifetime
         #: reservation -> expiry sim-time
@@ -45,6 +48,7 @@ class SRMService:
         :class:`ReservationError` when space genuinely isn't there — the
         *scheduling-time* signal that replaces the §6.2 mid-job crash.
         """
+        self.require_available("space reservation")
         self.reap_expired()
         try:
             reservation = self.storage.reserve(nbytes)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import ServiceUnavailableError
+from ..services import GridService
 from ..sim.engine import Engine
 from .gsi import Certificate, CertificateAuthority, GridMapFile, Proxy
 
@@ -33,20 +34,28 @@ class VOUser:
     certificate: Optional[Certificate] = None
 
 
-class VOMSServer:
-    """Membership database for one VO."""
+class VOMSServer(GridService):
+    """Membership database for one VO.
+
+    Central services can be down; §5.4's support model makes VO
+    organisations responsible for their own VOMS — hence the
+    GridService lifecycle and its downtime ledger.
+    """
 
     def __init__(self, engine: Engine, vo: str, ca: CertificateAuthority) -> None:
-        self.engine = engine
+        super().__init__(role="voms", owner=vo, engine=engine)
         self.vo = vo
         self.ca = ca
         self._members: Dict[str, VOUser] = {}
-        #: Central services can be down; §5.4's support model makes VO
-        #: organisations responsible for their own VOMS.
-        self.available = True
 
     def __len__(self) -> int:
         return len(self._members)
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out["members"] = float(len(self._members))
+        out["admins"] = float(len(self.admins()))
+        return out
 
     def register(self, name: str, role: str = "user") -> VOUser:
         """Add a member, issuing them a certificate.  Idempotent by name."""
@@ -83,8 +92,7 @@ class VOMSServer:
 
     def dns(self) -> List[str]:
         """All member DNs — what the gridmap generation script pulls."""
-        if not self.available:
-            raise ServiceUnavailableError(f"VOMS server for {self.vo} is down")
+        self.require_available("gridmap pull")
         return [u.dn for u in self._members.values()]
 
 

@@ -7,6 +7,7 @@ from .ganglia import GangliaAgent, GangliaWeb
 from .mdviewer import MDViewer
 from .monalisa import MonALISAAgent, MonALISARepository
 from .rrd import RoundRobinDatabase
+from .servicehealth import ServiceHealthAgent
 from .sitecatalog import ProbeResult, SiteStatusCatalog, probe_site
 from .statusmap import SITE_LOCATIONS, render_status_map, status_map_for_catalog
 from .transfers import TransferEntry, TransferLedger
@@ -26,6 +27,7 @@ __all__ = [
     "ProbeResult",
     "RoundRobinDatabase",
     "SITE_LOCATIONS",
+    "ServiceHealthAgent",
     "render_status_map",
     "status_map_for_catalog",
     "SiteStatusCatalog",

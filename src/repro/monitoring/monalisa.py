@@ -108,8 +108,9 @@ class MonALISAAgent:
         gatekeeper = self.site.services.get("gatekeeper")
         if gatekeeper is None:
             return []
-        new_entries = gatekeeper.log[self._gram_log_cursor:]
-        self._gram_log_cursor = len(gatekeeper.log)
+        new_entries, self._gram_log_cursor = gatekeeper.log.since(
+            self._gram_log_cursor
+        )
         submits = sum(1 for e in new_entries if e[1] == "submit")
         dones = sum(1 for e in new_entries if e[1] == "done")
         fails = sum(1 for e in new_entries if e[1] in ("failed", "overload_reject"))

@@ -1,0 +1,77 @@
+"""Service-health monitoring: the ledger and counters, published.
+
+The service substrate (:mod:`repro.services`) keeps per-service
+lifecycle state, downtime ledgers, and counters; this module is the
+monitoring-side bridge that samples them periodically into a
+:class:`~repro.monitoring.core.MetricStore` — the "deliberate
+redundancy" of §5.2 applied to service health: probes (Site Status
+Catalog) and ledgers (here) observe the same outages through different
+paths and can be cross-checked.
+
+Published series, all tagged ``site=<owner site>``, ``role=<role>``:
+
+* ``service.<role>.up`` — 1.0/0.0 liveness at sample time;
+* ``service.<role>.availability`` — ledger availability since t=0;
+* ``service.<role>.<counter>`` — every counter the service declares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..services import GridService, grid_services
+from ..sim.engine import Engine
+from ..sim.units import HOUR
+from .core import MetricSample, MetricStore, PeriodicProducer, make_tags
+
+
+class ServiceHealthAgent:
+    """Periodic sampler over every GridService in a grid.
+
+    ``extra_services`` adds off-site services (the RLS index, VOMS
+    servers) keyed by the display name used as their ``site`` tag.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sites: Iterable,
+        interval: float = 1 * HOUR,
+        store: Optional[MetricStore] = None,
+        extra_services: Optional[Dict[str, GridService]] = None,
+    ) -> None:
+        self.engine = engine
+        self.sites = list(sites)
+        self.extra_services = dict(extra_services or {})
+        self.store = store if store is not None else MetricStore()
+        self.producer = PeriodicProducer(
+            engine, "service-health", interval, self.collect_once, [self.store]
+        )
+
+    def _samples_for(
+        self, now: float, site_name: str, service: GridService
+    ) -> List[MetricSample]:
+        tags = make_tags(site=site_name, role=service.role)
+        prefix = f"service.{service.role}"
+        samples = [
+            MetricSample(now, f"{prefix}.up",
+                         1.0 if service.available else 0.0, tags),
+            MetricSample(now, f"{prefix}.availability",
+                         service.availability(), tags),
+        ]
+        samples.extend(
+            MetricSample(now, f"{prefix}.{name}", value, tags)
+            for name, value in sorted(service.counters().items())
+        )
+        return samples
+
+    def collect_once(self) -> List[MetricSample]:
+        """One sweep over every service (also the producer's collect)."""
+        now = self.engine.now
+        samples: List[MetricSample] = []
+        for site in self.sites:
+            for _role, service in sorted(grid_services(site).items()):
+                samples.extend(self._samples_for(now, site.name, service))
+        for name, service in sorted(self.extra_services.items()):
+            samples.extend(self._samples_for(now, name, service))
+        return samples

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..services import service_is_up
 from ..sim.engine import Engine
 from ..sim.units import HOUR
 
@@ -34,15 +35,13 @@ def probe_site(now: float, site) -> ProbeResult:
     problems: List[str] = []
     if not site.online:
         problems.append(f"site status is {site.status}")
-    gatekeeper = site.services.get("gatekeeper")
-    if gatekeeper is None or not gatekeeper.available:
-        problems.append("gatekeeper unreachable")
-    gridftp = site.services.get("gridftp")
-    if gridftp is None or not gridftp.available:
-        problems.append("gridftp unreachable")
-    gris = site.services.get("gris")
-    if gris is None or not getattr(gris, "available", True):
-        problems.append("gris unreachable")
+    # Uniform liveness checks: every role goes through the same
+    # health-snapshot probe, rather than a mix of hard attribute reads
+    # and permissive getattr defaults.
+    for role in ("gatekeeper", "gridftp", "gris"):
+        service = site.services.get(role)
+        if service is None or not service_is_up(service):
+            problems.append(f"{role} unreachable")
     if site.services.get("misconfigured"):
         problems.append("configuration check failed")
     if site.storage.free <= 0:

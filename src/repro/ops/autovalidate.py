@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..middleware.pacman import fix_misconfiguration, validate_site
 from ..middleware.vdt import REQUIRED_PACKAGES
+from ..services import service_is_up
 from ..sim.engine import Engine
 from ..sim.units import MINUTE
 
@@ -79,7 +80,7 @@ class AutoValidator:
         # presence); probe availability here.
         for role in ("gatekeeper", "gridftp", "gris"):
             service = site.services.get(role)
-            if service is not None and not getattr(service, "available", True):
+            if service is not None and not service_is_up(service):
                 problems = problems + (f"{role} not responding",)
         for problem in problems:
             if "misconfigured" in problem:
@@ -89,7 +90,9 @@ class AutoValidator:
             elif "not responding" in problem:
                 role = problem.split()[0]
                 yield self.engine.timeout(self.fix_time)
-                site.services[role].available = True
+                # Restart via the lifecycle so the repair closes the
+                # service's ledger outage instead of hiding it.
+                site.services[role].restore(note="auto-validator restart")
                 fixed.append(problem)
             else:
                 escalated.append(problem)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..middleware.pacman import fix_misconfiguration
+from ..services import service_is_up
 from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
 from ..sim.units import HOUR
@@ -74,7 +75,7 @@ class OperationsTeam:
         problems = []
         for role in ("gatekeeper", "gridftp", "gris"):
             service = site.services.get(role)
-            if service is not None and not getattr(service, "available", True):
+            if service is not None and not service_is_up(service):
                 problems.append(f"{role} down")
         if site.services.get("misconfigured"):
             problems.append("misconfigured")
@@ -105,11 +106,21 @@ class OperationsTeam:
             f"ops.response.{site.name}", self.mean_response_time
         )
         yield self.engine.timeout(response)
-        # Apply the fixes.
+        # Apply the fixes.  Restarts route through the service lifecycle
+        # so the repair lands in the downtime ledger and the ticket
+        # history, rather than silently flipping a flag.
         for role in ("gatekeeper", "gridftp", "gris"):
             service = site.services.get(role)
-            if service is not None and not getattr(service, "available", True):
-                service.available = True
+            if service is None or service_is_up(service):
+                continue
+            outage = service.restore(note=f"igoc ticket {ticket.ticket_id}")
+            if outage is not None:
+                self.igoc.tickets.add_note(
+                    ticket.ticket_id,
+                    f"restarted {role} after "
+                    f"{outage.duration(self.engine.now) / HOUR:.1f} h "
+                    f"({outage.cause or 'unknown cause'})",
+                )
         if site.services.get("misconfigured"):
             fix_misconfiguration(site)
         if site.storage.capacity and site.storage.used / site.storage.capacity >= self.purge_threshold:

@@ -66,10 +66,16 @@ class Ticket:
     resolved_at: float = -1.0
     #: Person-hours logged against the ticket.
     effort_hours: float = 0.0
+    #: Free-form work notes (repair attributions, outage references).
+    notes: List[str] = field(default_factory=list)
 
     @property
     def open(self) -> bool:
         return self.state != "resolved"
+
+    def add_note(self, note: str) -> None:
+        """Append a work note to the ticket history."""
+        self.notes.append(note)
 
     @property
     def time_to_resolve(self) -> float:
@@ -119,6 +125,10 @@ class TroubleTicketSystem:
         if hours < 0:
             raise ValueError("effort cannot be negative")
         self._tickets[ticket_id].effort_hours += hours
+
+    def add_note(self, ticket_id: int, note: str) -> None:
+        """Append a work note to a ticket's history."""
+        self._tickets[ticket_id].add_note(note)
 
     def resolve(self, ticket_id: int) -> None:
         ticket = self._tickets[ticket_id]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.job import Job
 from ..scheduling.condorg import CondorG, GridJobHandle
+from ..services import AvailabilityRow, availability_rows, grid_services
 from ..sim.units import HOUR
 
 
@@ -137,6 +138,40 @@ class TroubleshootingAPI:
             "bytes_sent": server.bytes_sent,
             "bytes_received": server.bytes_received,
         }
+
+    # -- service health (downtime-ledger queries) ---------------------------
+    def service_health(self, site_name: str) -> Dict[str, Dict]:
+        """Lifecycle snapshot for every GridService at one site:
+        role -> the service's ``health()`` dict (state, open-outage
+        cause, outage count, cumulative downtime)."""
+        site = self.sites[site_name]
+        return {
+            role: service.health()
+            for role, service in grid_services(site).items()
+        }
+
+    def service_availability(
+        self,
+        site_name: str,
+        role: str,
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> float:
+        """Availability fraction for one service over a window, straight
+        from its downtime ledger (1.0 for roles a site doesn't run)."""
+        service = grid_services(self.sites[site_name]).get(role)
+        if service is None:
+            return 1.0
+        return service.availability(since=since, until=until)
+
+    def availability_report(
+        self,
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> List[AvailabilityRow]:
+        """Per-(site, role) availability/MTTR/MTBF rows over a window —
+        the grid-wide ledger view the iGOC status page needs."""
+        return availability_rows(self.sites.values(), since=since, until=until)
 
     # -- error analytics ----------------------------------------------------------
     def error_summary(

@@ -28,7 +28,9 @@ def test_disabled_profile_injects_nothing(eng, net, rng):
     site = make_site(eng, net, "SiteA")
     injector = FailureInjector(eng, [site], rng, FailureProfile.disabled())
     eng.run(until=30 * DAY)
-    assert injector.injected == {"service": 0, "network": 0, "node": 0, "rollover": 0}
+    assert injector.injected == {
+        "service": 0, "pool": 0, "network": 0, "node": 0, "rollover": 0,
+    }
 
 
 def test_service_crash_kills_running_jobs(eng, net, rng):

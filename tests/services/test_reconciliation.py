@@ -1,0 +1,137 @@
+"""Injected outage schedules reconcile exactly with the downtime ledgers.
+
+The satellite check for the service substrate: every outage the
+injector creates must land in some service's ledger with the profile's
+repair time, no more and no less — the accounting is exact, not
+probe-sampled.
+"""
+
+import pytest
+
+from repro.failures import FailureInjector, FailureProfile
+from repro.middleware.dcache import DCachePoolManager
+from repro.fabric import Network
+from repro.sim import DAY, Engine, HOUR, RngRegistry, TB
+from tests.conftest import make_site, wire_site
+
+REPAIR = 4 * HOUR
+POOL_REPAIR = 6 * HOUR
+
+
+def service_only_profile(**overrides):
+    defaults = dict(
+        service_failure_interval=2 * DAY,
+        batch_crash_weight=0.0,      # victims are gridftp/gatekeeper only
+        service_repair_time=REPAIR,
+        network_interruption_interval=None,
+        node_mtbf=None,
+        nightly_rollover={},
+    )
+    defaults.update(overrides)
+    return FailureProfile(**defaults)
+
+
+def test_injected_service_outages_reconcile_with_ledgers(eng, net, rng):
+    site = wire_site(eng, make_site(eng, net, "SiteA"))
+    injector = FailureInjector(eng, [site], rng, service_only_profile())
+    horizon = 60 * DAY
+    eng.run(until=horizon)
+
+    services = [site.services["gatekeeper"], site.services["gridftp"]]
+    outages = [o for svc in services for o in svc.ledger.outages()]
+    assert injector.injected["service"] > 0
+    # Every injection produced exactly one ledger outage.
+    assert len(outages) == injector.injected["service"]
+    for outage in outages:
+        if outage.closed:
+            assert outage.end - outage.start == pytest.approx(REPAIR)
+        else:  # run ended mid-outage: clamped, shorter than a repair
+            assert horizon - outage.start < REPAIR
+    # Total ledger downtime == closed outages at full repair time plus
+    # the clamped open remainder.
+    expected = sum(o.duration(horizon) for o in outages)
+    measured = sum(svc.ledger.downtime(0.0, horizon) for svc in services)
+    assert measured == pytest.approx(expected)
+
+
+def test_batch_crashes_land_in_gatekeeper_ledger(eng, net, rng):
+    site = wire_site(eng, make_site(eng, net, "SiteA"))
+    profile = service_only_profile(batch_crash_weight=1e9)  # always batch
+    injector = FailureInjector(eng, [site], rng, profile)
+    eng.run(until=30 * DAY)
+    gatekeeper = site.services["gatekeeper"]
+    assert injector.injected["service"] > 0
+    assert len(gatekeeper.ledger) == injector.injected["service"]
+    assert all(
+        o.cause == "injected batch system crash"
+        for o in gatekeeper.ledger.outages()
+    )
+
+
+def make_tier1(eng, net, name="Tier1"):
+    site = make_site(eng, net, name)
+    site.storage = DCachePoolManager(
+        eng, f"{name}-dcache", pool_count=4, pool_capacity=1 * TB
+    )
+    return site
+
+
+def pool_only_profile():
+    return FailureProfile(
+        service_failure_interval=None,
+        pool_failure_interval=2 * DAY,
+        pool_repair_time=POOL_REPAIR,
+        network_interruption_interval=None,
+        node_mtbf=None,
+        nightly_rollover={},
+    )
+
+
+def test_pool_failures_are_injectable_and_ledger_accounted(eng, net, rng):
+    site = make_tier1(eng, net)
+    injector = FailureInjector(eng, [site], rng, pool_only_profile())
+    horizon = 40 * DAY
+    eng.run(until=horizon)
+
+    assert injector.injected["pool"] > 0
+    outages = [o for pool in site.storage.pools for o in pool.ledger.outages()]
+    assert len(outages) == injector.injected["pool"]
+    assert all(o.cause == "injected pool failure" for o in outages)
+    for outage in outages:
+        if outage.closed:
+            assert outage.duration() == pytest.approx(POOL_REPAIR)
+
+
+def test_flat_se_sites_skip_pool_injection(eng, net, rng):
+    site = wire_site(eng, make_site(eng, net, "FlatSE"))
+    injector = FailureInjector(eng, [site], rng, pool_only_profile())
+    eng.run(until=40 * DAY)
+    assert injector.injected["pool"] == 0
+
+
+def test_pool_class_does_not_perturb_service_schedule():
+    """Enabling pool injection must not shift the service-failure RNG
+    streams — existing schedules stay reproducible."""
+
+    def outage_starts(enable_pool):
+        engine = Engine()
+        network = Network(engine)
+        registry = RngRegistry(42)
+        site = make_tier1(engine, network, "Tier1")
+        wire_site(engine, site)
+        profile = service_only_profile(
+            pool_failure_interval=2 * DAY if enable_pool else None,
+            pool_repair_time=POOL_REPAIR,
+        )
+        FailureInjector(engine, [site], registry, profile)
+        engine.run(until=30 * DAY)
+        return sorted(
+            o.start
+            for role in ("gatekeeper", "gridftp")
+            for o in site.services[role].ledger.outages()
+        )
+
+    without_pool = outage_starts(enable_pool=False)
+    with_pool = outage_starts(enable_pool=True)
+    assert without_pool  # the schedule actually fired
+    assert without_pool == with_pool

@@ -129,5 +129,26 @@ def test_score_command_runs():
     assert code == 1
 
 
+def test_health_command():
+    code, text = run_cli([
+        "health", "--scale", "800", "--days", "2", "--apps", "exerciser",
+    ])
+    assert code == 0
+    assert "service" in text and "avail" in text
+    assert "gatekeeper" in text and "gridftp" in text
+    assert "igoc-rls" in text          # central services included
+    assert "total downtime:" in text
+
+
+def test_health_command_site_filter():
+    code, text = run_cli([
+        "health", "--scale", "800", "--days", "1", "--no-failures",
+        "--apps", "exerciser", "--site", "BNL_ATLAS",
+    ])
+    assert code == 0
+    assert "BNL_ATLAS" in text
+    assert "FNAL_CMS" not in text
+
+
 def test_main_entry_point():
     assert main(["catalog"]) == 0

@@ -91,6 +91,27 @@ def test_public_api_exports_resolve():
             assert hasattr(module, name), f"repro.{subpackage}.{name}"
 
 
+def test_no_direct_available_writes_outside_services():
+    """Every availability flip must route through the GridService
+    lifecycle (fail/restore), so no outage can bypass the downtime
+    ledger.  Direct ``.available = x`` writes are only legal inside the
+    services package itself (the property setter)."""
+    src = REPO / "src" / "repro"
+    services_dir = src / "services"
+    pattern = re.compile(r"\.available\s*=[^=]")
+    offenders = []
+    for path in sorted(src.rglob("*.py")):
+        if services_dir in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            if pattern.search(stripped):
+                offenders.append(f"{path.relative_to(REPO)}:{lineno}")
+    assert offenders == [], (
+        f"direct .available writes bypass the downtime ledger: {offenders}"
+    )
+
+
 def test_every_public_module_has_docstring():
     src = REPO / "src" / "repro"
     missing = []
