@@ -30,7 +30,7 @@ from repro import Grid3, Grid3Config  # noqa: E402
 from repro.failures import FailureProfile  # noqa: E402
 from repro.lab.experiment import ExperimentSpec, run_experiment  # noqa: E402
 from repro.monitoring.core import MetricSample, MetricStore, make_tags  # noqa: E402
-from repro.sim import Engine  # noqa: E402
+from repro.sim import DAY, Engine, GB  # noqa: E402
 
 #: Seed-commit numbers (full mode, same harness, same machine) recorded
 #: when the kernel/store/runner fast paths landed.  Do not edit unless
@@ -172,12 +172,64 @@ def bench_sweep(smoke: bool) -> Dict[str, object]:
     }
 
 
+def bench_transfers(smoke: bool) -> Dict[str, object]:
+    """Managed-transfer throughput benchmark: N concurrent
+    TransferManager tickets fanning out from the Tier1 sources across
+    the whole 27-site catalog, SRM-free, failure-free — measures the
+    queueing/selection/network machinery itself."""
+    per_site = 2 if smoke else 15
+    grid = Grid3(Grid3Config(
+        seed=11, scale=400, duration_days=30.0,
+        failures=FailureProfile.disabled(),
+        misconfig_probability=0.0,
+        ops_team=False, local_load=False,
+        data_management=True,
+    ))
+    grid.deploy()
+    sources = ["BNL_ATLAS", "FNAL_CMS"]
+    dsts = sorted(grid.sites)
+    n = per_site * len(dsts)
+    size = 1 * GB
+    for i in range(n):
+        lfn = f"/bench/burst/{i:05d}"
+        src = sources[i % len(sources)]
+        if lfn not in grid.sites[src].storage:
+            grid.sites[src].storage.store(lfn, size)
+        grid.rls.register(src, lfn, size)
+
+    t0 = time.perf_counter()
+    tickets = [
+        grid.data.transfers.submit(
+            f"/bench/burst/{i:05d}", size, dsts[i % len(dsts)], vo="bench",
+        )
+        for i in range(n)
+    ]
+    # Step only until the queues drain — the horizon is just a backstop.
+    while grid.data.transfers.outstanding() and grid.engine.now < 30 * DAY:
+        if not grid.engine.step():
+            break
+    wall = time.perf_counter() - t0
+    done = sum(1 for t in tickets if t.ok)
+    return {
+        "transfers": n,
+        "sites": len(dsts),
+        "completed": done,
+        "failed": n - done,
+        "bytes_moved_gb": round(grid.data.transfers.bytes_moved / GB, 1),
+        "sim_hours": round(grid.engine.now / 3600.0, 2),
+        "wall_s": round(wall, 3),
+        "transfers_per_wall_s": round(n / wall) if wall else None,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads (CI smoke job)")
     parser.add_argument("--out", default="BENCH_kernel.json",
                         help="output path (default: BENCH_kernel.json)")
+    parser.add_argument("--transfers-out", default="BENCH_transfers.json",
+                        help="transfer-benchmark output path")
     args = parser.parse_args()
 
     current = {}
@@ -199,6 +251,20 @@ def main() -> int:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    t0 = time.perf_counter()
+    transfers = bench_transfers(args.smoke)
+    print(f"transfers: {transfers} ({time.perf_counter() - t0:.1f}s)",
+          flush=True)
+    with open(args.transfers_out, "w") as fh:
+        json.dump({
+            "generated_by": "benchmarks/record_bench.py",
+            "mode": "smoke" if args.smoke else "full",
+            "python": sys.version.split()[0],
+            "current": transfers,
+        }, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.transfers_out}")
     return 0
 
 

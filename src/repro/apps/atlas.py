@@ -68,7 +68,7 @@ class ATLASApplication(ApplicationDemonstrator):
         self.vdc.add_transformation(
             Transformation("atlreco", runtime=RECO_RUNTIME, staging="heavy")
         )
-        self.planner = PegasusPlanner(ctx.rls, ctx.rng)
+        self.planner = PegasusPlanner(ctx.rls, ctx.rng, selector=ctx.replica_selector)
         self.dataset_catalog = DatasetCatalog()
         #: §6.1: GCE-Server deployed on 22 Grid3 sites via Pacman.
         self.deployed_sites: List[str] = []

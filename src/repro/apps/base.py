@@ -47,6 +47,9 @@ class AppContext:
     scale: float = 1.0
     #: Campaign horizon in sim-seconds (defaults to the Table 1 window).
     duration: float = OBSERVATION_DAYS * DAY
+    #: ReplicaSelector when the managed data subsystem is on, else None
+    #: (planners then use their deterministic fallback).
+    replica_selector: object = None
 
 
 class AppStats:

@@ -62,7 +62,7 @@ class SDSSApplication(ApplicationDemonstrator):
         self.vdc.add_transformation(
             Transformation("clusterCatalog", runtime=MERGE_RUNTIME, staging="minimal")
         )
-        self.planner = PegasusPlanner(ctx.rls, ctx.rng)
+        self.planner = PegasusPlanner(ctx.rls, ctx.rng, selector=ctx.replica_selector)
 
     def _workflow_dax(self, index: int):
         """fieldPrep -> N x brgSearch -> clusterCatalog."""

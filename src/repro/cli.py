@@ -8,6 +8,7 @@ Subcommands
 ``catalog``    print the reconstructed 27-site catalog
 ``export``     run and dump the ACDC job records as CSV
 ``health``     run and print the per-site, per-service availability table
+``data``       run with the managed data subsystem, print storage tables
 
 Examples::
 
@@ -184,6 +185,44 @@ def cmd_health(args, out=print) -> int:
     return 0
 
 
+def cmd_data(args, out=print) -> int:
+    """Run with the managed data subsystem and print its accounting."""
+    grid = _build_grid(args)
+    grid.config.data_management = True
+    if args.disk_scale is not None:
+        grid.config.disk_scale = args.disk_scale
+    # Config edits above must land before construction side-effects; the
+    # builder read them in __init__, so rebuild with the final config.
+    grid = Grid3(grid.config)
+    grid.run_full()
+    rows = [
+        (r.site, r.files, f"{bytes_to_tb(r.capacity):.2f}",
+         f"{r.occupancy:.0%}", r.evictions,
+         f"{bytes_to_tb(r.evicted_bytes):.3f}", r.replicas_received)
+        for r in grid.data.report()
+    ]
+    out(render_table(
+        ["site", "files", "cap TB", "occupancy", "evictions",
+         "evicted TB", "replicas in"],
+        rows,
+    ))
+    hot = grid.data.hot_datasets(args.top)
+    if hot:
+        out(f"\ntop {len(hot)} hot datasets:")
+        out(render_table(
+            ["dataset", "vo", "files", "accesses"],
+            [(d.name, d.vo, len(d.files), d.accesses) for d in hot],
+        ))
+    else:
+        out("\nno dataset accesses recorded")
+    counters = grid.data.counters()
+    out("\n" + render_table(
+        ["counter", "value"],
+        [(k, f"{v:g}") for k, v in sorted(counters.items())],
+    ))
+    return 0
+
+
 def cmd_report(args, out=print) -> int:
     from .ops.reports import weekly_report
     grid = _build_grid(args)
@@ -247,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="weekly iGOC operations reports")
     _add_run_options(p_rep)
     p_rep.set_defaults(func=cmd_report)
+
+    p_data = sub.add_parser(
+        "data", help="run with managed data; print per-site storage table"
+    )
+    _add_run_options(p_data)
+    p_data.add_argument("--top", type=int, default=5,
+                        help="hot datasets to list (default 5)")
+    p_data.add_argument("--disk-scale", type=float, default=None,
+                        help="divide SE capacities (pressure regimes)")
+    p_data.set_defaults(func=cmd_data)
 
     p_score = sub.add_parser(
         "score", help="score a run against the paper's shape claims"

@@ -131,6 +131,18 @@ class Grid3Config:
     #: storage elements (§2: "dCache can be provided by individual VOs").
     tier1_dcache: bool = False
     tier1_dcache_pools: int = 8
+    #: §8 "Storage Services and Data Management": run the managed data
+    #: subsystem (replica selection, transfer queueing, StorageAgent
+    #: disk-pressure control).  Off by default — the deployed system had
+    #: none — and isolated on data.* RNG streams when on.
+    data_management: bool = False
+    #: StorageAgent watermarks: evict above high, down to low.
+    data_high_watermark: float = 0.85
+    data_low_watermark: float = 0.70
+    #: Divides every SE capacity (1.0 = the catalog's real disks).
+    #: Raising it manufactures the §6.2 disk-pressure regime at bench
+    #: scales where the full-size disks would never fill.
+    disk_scale: float = 1.0
 
 
 class Grid3:
@@ -151,6 +163,12 @@ class Grid3:
         # per §6.3's edge-dominated problem reports).
         from ..fabric.topology import wire_backbone
         wire_backbone(self.network, self.sites.values())
+        if cfg.disk_scale != 1.0:
+            # scaled_catalog divides CPUs but leaves disks full-size; the
+            # disk-pressure scenarios shrink them here so the §6.2 regime
+            # is reachable in short windows.
+            for site in self.sites.values():
+                site.storage.capacity = site.storage.capacity / cfg.disk_scale
         if cfg.tier1_dcache:
             # §2: the Tier1 VOs ran pooled storage behind their doors.
             from ..middleware.dcache import DCachePoolManager
@@ -183,9 +201,22 @@ class Grid3:
             self.pacman_cache.publish(pkg)
         self.igoc.host("pacman-cache", self.pacman_cache)
 
+        # Managed data subsystem (§8 lesson; opt-in).  Built before the
+        # runner so stage-in goes through the replica selector.
+        self.data = None
+        if cfg.data_management:
+            from ..data import DataManager
+            self.data = DataManager(
+                self.engine, self.sites, self.rls, self.rng,
+                ledger=self.ledger,
+                high_watermark=cfg.data_high_watermark,
+                low_watermark=cfg.data_low_watermark,
+            )
+
         self.runner = Grid3Runner(
             self.sites, self.rls, self.rng,
             use_srm=cfg.use_srm, ledger=self.ledger,
+            replica_selector=self.data.selector if self.data else None,
         )
 
         # Filled in by deploy().
@@ -281,6 +312,10 @@ class Grid3:
             "status": status_catalog,
             "service-health": service_health,
         }
+        if self.data is not None:
+            # The StorageAgent's data.* metric store joins the iGOC
+            # monitoring estate alongside the rest of Fig. 1.
+            self.monitors["data"] = self.data.store
         for name, service in self.monitors.items():
             self.igoc.host(name, service)
 
@@ -365,6 +400,7 @@ class Grid3:
             ledger=self.ledger,
             scale=self.config.scale,
             duration=self.duration,
+            replica_selector=self.data.selector if self.data else None,
         )
 
     def start_applications(self) -> None:
@@ -408,6 +444,12 @@ class Grid3:
     @property
     def acdc_db(self):
         return self.monitors["acdc"].database
+
+    def troubleshooting(self):
+        """The §8 troubleshooting/accounting API over this grid,
+        data-management queries included when the subsystem is on."""
+        from ..ops import TroubleshootingAPI
+        return TroubleshootingAPI(self.sites, self.acdc_db, data=self.data)
 
     def viewer(self) -> MDViewer:
         """An MDViewer over this run's monitoring data."""

@@ -49,12 +49,16 @@ class Grid3Runner:
         use_srm: bool = False,
         misconfigured_failure_probability: float = 0.9,
         ledger=None,
+        replica_selector=None,
     ) -> None:
         self.sites = sites
         self.rls = rls
         self.rng = rng
         self.use_srm = use_srm
         self.misconfigured_failure_probability = misconfigured_failure_probability
+        #: Optional ReplicaSelector: stage-in sources rank by route
+        #: quality instead of RLS order (None = legacy behaviour).
+        self.replica_selector = replica_selector
         #: Optional TransferLedger: staging volume lands there with VO
         #: attribution (feeds the Fig. 5 analysis).
         self.ledger = ledger
@@ -120,7 +124,10 @@ class Grid3Runner:
                 if lfn in site.storage:
                     continue
                 try:
-                    replica = self.rls.best_replica(lfn)
+                    if self.replica_selector is not None:
+                        replica = self.replica_selector.best(lfn, site)
+                    else:
+                        replica = self.rls.best_replica(lfn)
                 except Exception as exc:
                     raise self._fail("pre-stage", exc)
                 src = self.sites[replica.site]

@@ -1,0 +1,197 @@
+"""Dataset bookkeeping: logical files grouped into named, VO-owned sets.
+
+§8 of the paper lists "Storage Services and Data Management" among the
+lessons learned: "Additional infrastructure services are needed to
+support managed persistent and transient storage."  The first missing
+piece is *grouping*: RLS maps individual logical files to replicas, but
+every real workload (ATLAS production samples, SDSS coadd fields, the
+GridFTP demonstrator's matrix traffic) moves and retires data in
+dataset-sized units.  :class:`DatasetCatalog` provides that unit —
+named file sets with a VO owner, access counters, and pin state — which
+the :class:`~repro.data.agent.StorageAgent` uses to decide what is hot
+(replicate it) and what is cold and unpinned (evict it under disk
+pressure).
+
+This catalog is management-facing; the DIAL analysis-facing catalog in
+:mod:`repro.workflow.dial` (which indexes *produced physics samples*
+for interactive analysis) is a different concern and stays separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class Dataset:
+    """A named set of logical files with one owning VO.
+
+    ``accesses``/``last_access`` are bumped by
+    :meth:`DatasetCatalog.record_access` whenever a member file is
+    staged or served; the StorageAgent reads them for its hot/cold
+    ranking.  ``pinned`` datasets are never evicted.
+    """
+
+    name: str
+    vo: str
+    files: Dict[str, float] = field(default_factory=dict)  # lfn -> bytes
+    pinned: bool = False
+    accesses: int = 0
+    last_access: float = 0.0
+
+    @property
+    def size(self) -> float:
+        """Total logical bytes across member files."""
+        return sum(self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self.files
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataset {self.name} ({self.vo}) {len(self.files)} files "
+            f"{self.size:.2e} B{' pinned' if self.pinned else ''}>"
+        )
+
+
+class DatasetCatalog:
+    """Named datasets plus the lfn → dataset reverse index.
+
+    Files belong to at most one dataset (the Grid3 VOs namespaced their
+    LFNs, so collisions indicate a workload bug and raise).  Files
+    never claimed by any dataset are *orphans* — scratch residue from
+    failed jobs, exactly the §6.2 disk-filler — and the eviction policy
+    treats them as the first thing to reclaim.
+    """
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, Dataset] = {}
+        self._by_lfn: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    # -- definition --------------------------------------------------------
+    def define(
+        self,
+        name: str,
+        vo: str,
+        files: Iterable[Tuple[str, float]] = (),
+        pinned: bool = False,
+    ) -> Dataset:
+        """Create (or extend) a dataset; re-defining with a different VO
+        raises."""
+        dataset = self._datasets.get(name)
+        if dataset is None:
+            dataset = Dataset(name=name, vo=vo, pinned=pinned)
+            self._datasets[name] = dataset
+        elif dataset.vo != vo:
+            raise ValueError(
+                f"dataset {name!r} is owned by {dataset.vo}, not {vo}"
+            )
+        for lfn, size in files:
+            self.add_file(name, lfn, size)
+        return dataset
+
+    def add_file(self, name: str, lfn: str, size: float) -> None:
+        """Add one member file (idempotent for same dataset)."""
+        if size < 0:
+            raise ValueError(f"file {lfn!r} has negative size")
+        owner = self._by_lfn.get(lfn)
+        if owner is not None and owner != name:
+            raise ValueError(f"{lfn!r} already belongs to dataset {owner!r}")
+        self._datasets[name].files[lfn] = float(size)
+        self._by_lfn[lfn] = name
+
+    def auto_define(self, lfn: str, size: float) -> Optional[Dataset]:
+        """Catalogue a file by its path-style LFN namespace.
+
+        The Grid3 workloads all name files ``/vo/group/...`` (e.g.
+        ``/atlas/<run>/dst``, ``/sdss/images/strip-003``), so the first
+        two components identify the dataset and the first the owning
+        VO.  LFNs outside that convention stay orphans (returns None).
+        """
+        parts = [p for p in lfn.split("/") if p]
+        if len(parts) < 2:
+            return None
+        name = "/".join(parts[:2])
+        dataset = self.define(name, vo=parts[0])
+        if lfn not in dataset.files:
+            self.add_file(name, lfn, size)
+        return dataset
+
+    def remove_file(self, lfn: str) -> None:
+        """Forget a member file (no-op for unknown LFNs)."""
+        name = self._by_lfn.pop(lfn, None)
+        if name is not None:
+            self._datasets[name].files.pop(lfn, None)
+
+    # -- lookup ------------------------------------------------------------
+    def dataset(self, name: str) -> Dataset:
+        """The named dataset (KeyError if unknown)."""
+        return self._datasets[name]
+
+    def dataset_of(self, lfn: str) -> Optional[Dataset]:
+        """The dataset a file belongs to, or None for orphans."""
+        name = self._by_lfn.get(lfn)
+        return self._datasets[name] if name is not None else None
+
+    def datasets(self, vo: Optional[str] = None) -> List[Dataset]:
+        """All datasets (optionally one VO's), sorted by name."""
+        return [
+            self._datasets[name]
+            for name in sorted(self._datasets)
+            if vo is None or self._datasets[name].vo == vo
+        ]
+
+    # -- pinning ----------------------------------------------------------
+    def pin(self, name: str) -> None:
+        """Protect a dataset from eviction."""
+        self._datasets[name].pinned = True
+
+    def unpin(self, name: str) -> None:
+        """Allow eviction again."""
+        self._datasets[name].pinned = False
+
+    def is_pinned(self, lfn: str) -> bool:
+        """Whether the file's dataset (if any) is pinned."""
+        dataset = self.dataset_of(lfn)
+        return dataset.pinned if dataset is not None else False
+
+    # -- access accounting -------------------------------------------------
+    def record_access(self, lfn: str, time: float) -> None:
+        """Bump the owning dataset's heat counters (orphans ignored)."""
+        dataset = self.dataset_of(lfn)
+        if dataset is not None:
+            dataset.accesses += 1
+            dataset.last_access = max(dataset.last_access, time)
+
+    def last_access_of(self, lfn: str) -> float:
+        """When the file's dataset was last touched (0.0 for orphans —
+        coldest possible, so residue evicts first)."""
+        dataset = self.dataset_of(lfn)
+        return dataset.last_access if dataset is not None else 0.0
+
+    def hot_datasets(self, n: int = 5, vo: Optional[str] = None) -> List[Dataset]:
+        """Top-``n`` datasets by access count (ties by name, stable)."""
+        ranked = sorted(
+            self.datasets(vo=vo), key=lambda d: (-d.accesses, d.name)
+        )
+        return [d for d in ranked[:max(0, n)] if d.accesses > 0]
+
+    def bytes_by_vo(self) -> Dict[str, float]:
+        """VO -> total logical bytes catalogued."""
+        out: Dict[str, float] = {}
+        for dataset in self._datasets.values():
+            out[dataset.vo] = out.get(dataset.vo, 0.0) + dataset.size
+        return out
+
+    def __repr__(self) -> str:
+        return f"<DatasetCatalog {len(self._datasets)} datasets>"

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import StorageFullError
+from ..errors import ReservationError, StorageFullError
 from ..sim.engine import Engine
 
 
@@ -180,12 +180,26 @@ class StorageElement:
         return res
 
     def release_reservation(self, reservation: Reservation) -> None:
-        """Return a reservation's unused space to the free pool."""
+        """Return a reservation's *unused* space to the free pool.
+
+        A partially-used reservation credits back only ``available``
+        (the written bytes already moved into ``used``).  Releasing the
+        same reservation twice, or against the wrong SE, raises
+        :class:`~repro.errors.ReservationError` — a silent no-op here
+        would hide double-release bugs in callers, and a silent credit
+        would corrupt the capacity invariant.
+        """
+        if reservation.se is not self:
+            raise ReservationError(
+                f"SE {self.name}: reservation belongs to {reservation.se.name}"
+            )
         if reservation.released:
-            return
+            raise ReservationError(
+                f"SE {self.name}: reservation already released"
+            )
         reservation.released = True
         self._reserved -= reservation.available
-        self._reservations.remove(reservation)
+        self._reservations = [r for r in self._reservations if r is not reservation]
 
     def __repr__(self) -> str:
         return (

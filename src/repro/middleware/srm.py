@@ -63,11 +63,18 @@ class SRMService(GridService):
         return reservation
 
     def put_done(self, reservation: Reservation) -> None:
-        """Signal write completion; unused reserve returns to the pool."""
-        self.storage.release_reservation(reservation)
+        """Signal write completion; unused reserve returns to the pool.
+
+        Idempotent at this layer: a job whose lease already expired (the
+        reaper released it) may still call put_done in its cleanup path
+        — that is normal, not a double-release bug, so the strict
+        :meth:`StorageElement.release_reservation` is only invoked for
+        reservations still live.
+        """
+        if not reservation.released:
+            self.storage.release_reservation(reservation)
         self._leases.pop(id(reservation), None)
-        if reservation in self._live:
-            self._live.remove(reservation)
+        self._live = [r for r in self._live if r is not reservation]
 
     def abort(self, reservation: Reservation) -> None:
         """Abandon a reservation outright (failed transfer)."""

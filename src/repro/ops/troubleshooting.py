@@ -88,9 +88,11 @@ class JobLinkIndex:
 class TroubleshootingAPI:
     """Direct (no-log-parsing) troubleshooting queries over a built grid."""
 
-    def __init__(self, sites: Dict[str, object], acdc_db) -> None:
+    def __init__(self, sites: Dict[str, object], acdc_db, data=None) -> None:
         self.sites = sites
         self.acdc_db = acdc_db
+        #: Optional DataManager: storage/data queries answer from it.
+        self.data = data
 
     # -- per-job ------------------------------------------------------------
     def job_timeline(self, job_id: int) -> List[Tuple[float, str]]:
@@ -138,6 +140,42 @@ class TroubleshootingAPI:
             "bytes_sent": server.bytes_sent,
             "bytes_received": server.bytes_received,
         }
+
+    # -- storage / data-management accounting ---------------------------------
+    def storage_accounting(self, site_name: str) -> Dict[str, float]:
+        """Occupancy and churn counters for one site's SE — the query
+        the §6.2 "disk filled up" tickets needed answered directly."""
+        storage = getattr(self.sites[site_name], "storage", None)
+        if storage is None:
+            return {}
+        return {
+            "capacity": storage.capacity,
+            "used": storage.used,
+            "utilisation": storage.utilisation,
+            "files": len(storage.files()),
+            "bytes_written": storage.bytes_written,
+            "bytes_deleted": storage.bytes_deleted,
+            "write_failures": storage.write_failures,
+        }
+
+    def data_summary(self) -> Dict[str, float]:
+        """Grid-wide data-management counters (evictions, replications,
+        managed-transfer outcomes).  Empty when the subsystem is off."""
+        if self.data is None:
+            return {}
+        return self.data.counters()
+
+    def pressure_sites(self, threshold: float = 0.85) -> List[Tuple[str, float]]:
+        """Sites whose SE occupancy exceeds ``threshold``, worst first —
+        the proactive version of waiting for StorageFullError tickets."""
+        rows = [
+            (name, site.storage.utilisation)
+            for name, site in sorted(self.sites.items())
+            if getattr(site, "storage", None) is not None
+            and site.storage.utilisation >= threshold
+        ]
+        rows.sort(key=lambda pair: (-pair[1], pair[0]))
+        return rows
 
     # -- service health (downtime-ledger queries) ---------------------------
     def service_health(self, site_name: str) -> Dict[str, Dict]:

@@ -12,6 +12,8 @@ capturing one regime the paper describes:
   misconfiguration, noisy failures, no automation.
 * :func:`lesson_applied` — the §8 future: SRM on, auto-validation
   recommended (returned alongside the config flag).
+* :func:`disk_pressure` — the §6.2 disk-filling regime on shrunken
+  disks, with or without the managed data subsystem.
 """
 
 from __future__ import annotations
@@ -89,6 +91,26 @@ def lesson_applied(seed: int = 42, scale: float = 100.0) -> Grid3Config:
     )
 
 
+def disk_pressure(seed: int = 42, scale: float = 400.0,
+                  managed: bool = True) -> Grid3Config:
+    """The §6.2 disk-filling regime, reproducible on demand: shrunken
+    disks (``disk_scale``) under the output-heavy ivdgl and sdss
+    workloads, so failed-job residue and registered outputs genuinely
+    fill SEs.  ``managed=True`` turns the data subsystem on; run the
+    same seed with ``managed=False`` for the unmanaged baseline the
+    StorageAgent is measured against."""
+    return Grid3Config(
+        seed=seed,
+        scale=scale,
+        duration_days=21.0,
+        apps=["ivdgl", "sdss"],
+        disk_scale=200000.0,
+        data_management=managed,
+        failures=FailureProfile.calm(),
+        misconfig_probability=0.05,
+    )
+
+
 def paper_timeline(seed: int = 42, scale: float = 50.0) -> Grid3Config:
     """The full Grid3 arc in one run: §6.1's rough October/November
     shake-out transitioning to §7's stable regime mid-December, over the
@@ -108,6 +130,7 @@ SCENARIOS = {
     "stabilized-2004": stabilized_2004,
     "chaos-deployment": chaos_deployment,
     "lesson-applied": lesson_applied,
+    "disk-pressure": disk_pressure,
     "paper-timeline": paper_timeline,
 }
 

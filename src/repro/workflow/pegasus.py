@@ -28,24 +28,38 @@ from .dag import DAG
 
 
 class PegasusPlanner:
-    """Plans DAXes into concrete, submittable DAGs."""
+    """Plans DAXes into concrete, submittable DAGs.
 
-    def __init__(self, rls, rng: RngRegistry) -> None:
+    With a :class:`~repro.data.selector.ReplicaSelector` attached, input
+    replicas resolve through rank-by-route-quality (liveness and
+    bandwidth-aware); without one, the planner falls back to the
+    deterministic site-name order — never the raw RLS list order, whose
+    stability is an implementation detail of the index.
+    """
+
+    def __init__(self, rls, rng: RngRegistry, selector=None) -> None:
         self.rls = rls
         self.rng = rng
+        #: Optional ReplicaSelector; None = deterministic fallback.
+        self.selector = selector
         self.planned_workflows = 0
 
     def _input_size(self, lfn: str, internal_sizes: Dict[str, float]) -> float:
-        """Bytes for an input: produced upstream, or looked up in RLS."""
+        """Bytes for an input: produced upstream, or looked up via the
+        replica selector (deterministic fallback without one)."""
         if lfn in internal_sizes:
             return internal_sizes[lfn]
         try:
+            if self.selector is not None:
+                return self.selector.lookup_size(lfn)
             replicas = self.rls.locate(lfn)
         except ReplicaNotFoundError:
             raise VirtualDataError(
                 f"planner: no replica and no producer for input {lfn}"
             ) from None
-        return replicas[0].size
+        # No selector: site-name order is the stable, explicit choice
+        # (all replicas of an LFN share one logical size anyway).
+        return min(replicas, key=lambda r: r.site).size
 
     def _spec_for(
         self,

@@ -1,0 +1,1 @@
+"""Tests for the managed data subsystem (repro.data)."""

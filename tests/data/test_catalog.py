@@ -1,0 +1,115 @@
+"""Tests for the management-facing DatasetCatalog."""
+
+import pytest
+
+from repro.data import Dataset, DatasetCatalog
+
+
+def make_catalog():
+    cat = DatasetCatalog()
+    cat.define("atlas/run1", "atlas", files=[("/atlas/run1/gen", 1e9), ("/atlas/run1/sim", 2e9)])
+    cat.define("sdss/images", "sdss", files=[("/sdss/images/strip-001", 5e8)])
+    return cat
+
+
+def test_define_and_lookup():
+    cat = make_catalog()
+    assert len(cat) == 2
+    ds = cat.dataset("atlas/run1")
+    assert ds.vo == "atlas"
+    assert ds.size == pytest.approx(3e9)
+    assert len(ds) == 2
+    assert "/atlas/run1/gen" in ds
+    assert cat.dataset_of("/atlas/run1/gen") is ds
+    assert cat.dataset_of("/nowhere") is None
+
+
+def test_define_extends_existing():
+    cat = make_catalog()
+    cat.define("atlas/run1", "atlas", files=[("/atlas/run1/dst", 1e9)])
+    assert len(cat.dataset("atlas/run1")) == 3
+
+
+def test_redefine_with_other_vo_raises():
+    cat = make_catalog()
+    with pytest.raises(ValueError):
+        cat.define("atlas/run1", "uscms")
+
+
+def test_file_belongs_to_at_most_one_dataset():
+    cat = make_catalog()
+    with pytest.raises(ValueError):
+        cat.add_file("sdss/images", "/atlas/run1/gen", 1e9)
+    # Re-adding to the same dataset is idempotent.
+    cat.add_file("atlas/run1", "/atlas/run1/gen", 1e9)
+
+
+def test_negative_size_rejected():
+    cat = make_catalog()
+    with pytest.raises(ValueError):
+        cat.add_file("atlas/run1", "/atlas/run1/bad", -1.0)
+
+
+def test_remove_file():
+    cat = make_catalog()
+    cat.remove_file("/atlas/run1/gen")
+    assert cat.dataset_of("/atlas/run1/gen") is None
+    assert "/atlas/run1/gen" not in cat.dataset("atlas/run1")
+    cat.remove_file("/unknown")  # no-op
+
+
+def test_auto_define_derives_from_lfn_path():
+    cat = DatasetCatalog()
+    ds = cat.auto_define("/atlas/run9/dst", 2e9)
+    assert ds is not None
+    assert ds.name == "atlas/run9"
+    assert ds.vo == "atlas"
+    assert cat.dataset_of("/atlas/run9/dst") is ds
+    # Second member file of the same group lands in the same dataset.
+    assert cat.auto_define("/atlas/run9/sim", 1e9) is ds
+    assert len(ds) == 2
+    # LFNs outside the /vo/group convention stay orphans.
+    assert cat.auto_define("/flatfile", 1.0) is None
+
+
+def test_access_accounting_and_heat():
+    cat = make_catalog()
+    for _ in range(3):
+        cat.record_access("/atlas/run1/gen", 100.0)
+    cat.record_access("/sdss/images/strip-001", 200.0)
+    cat.record_access("/orphan/file/x", 300.0)  # orphans ignored
+    hot = cat.hot_datasets(n=5)
+    assert [d.name for d in hot] == ["atlas/run1", "sdss/images"]
+    assert hot[0].accesses == 3
+    assert cat.last_access_of("/atlas/run1/sim") == 100.0  # dataset-level
+    assert cat.last_access_of("/orphan/file/x") == 0.0  # coldest possible
+    # Never-accessed datasets are not "hot".
+    cat.define("empty/ds", "ligo")
+    assert all(d.name != "empty/ds" for d in cat.hot_datasets(n=10))
+
+
+def test_hot_datasets_vo_filter_and_ties():
+    cat = make_catalog()
+    cat.record_access("/atlas/run1/gen", 1.0)
+    cat.record_access("/sdss/images/strip-001", 1.0)
+    # Tie on accesses breaks on name, deterministically.
+    assert [d.name for d in cat.hot_datasets(n=2)] == ["atlas/run1", "sdss/images"]
+    assert [d.name for d in cat.hot_datasets(n=2, vo="sdss")] == ["sdss/images"]
+
+
+def test_pinning():
+    cat = make_catalog()
+    assert not cat.is_pinned("/atlas/run1/gen")
+    cat.pin("atlas/run1")
+    assert cat.is_pinned("/atlas/run1/gen")
+    assert not cat.is_pinned("/sdss/images/strip-001")
+    assert not cat.is_pinned("/orphan")
+    cat.unpin("atlas/run1")
+    assert not cat.is_pinned("/atlas/run1/gen")
+
+
+def test_bytes_by_vo():
+    cat = make_catalog()
+    by_vo = cat.bytes_by_vo()
+    assert by_vo["atlas"] == pytest.approx(3e9)
+    assert by_vo["sdss"] == pytest.approx(5e8)

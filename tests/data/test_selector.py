@@ -1,0 +1,126 @@
+"""Tests for route-quality replica selection."""
+
+import pytest
+
+from repro.data import DatasetCatalog, ReplicaSelector
+from repro.data.selector import DEAD_SCORE, LOCAL_SCORE
+from repro.errors import ReplicaNotFoundError
+from repro.middleware.rls import LocalReplicaCatalog, ReplicaLocationIndex
+from repro.sim import GB
+
+from ..conftest import make_site
+
+
+def build(eng, net, names=("SiteA", "SiteB", "SiteC"), bws=None):
+    sites = {}
+    rls = ReplicaLocationIndex(eng)
+    for i, name in enumerate(names):
+        bw = (bws or {}).get(name, 1e8)
+        sites[name] = make_site(eng, net, name, bw=bw)
+        rls.attach_lrc(LocalReplicaCatalog(name))
+    return sites, rls
+
+
+def test_fallback_is_site_name_order(eng, net):
+    _sites, rls = build(eng, net)
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    rls.register("SiteA", "/lfn/x", 1 * GB)
+    selector = ReplicaSelector(rls)  # no site context at all
+    ranked = selector.rank("/lfn/x")
+    assert [r.site for r in ranked] == ["SiteA", "SiteC"]
+    assert selector.fallback_selections == 1
+
+
+def test_missing_replica_raises(eng, net):
+    sites, rls = build(eng, net)
+    selector = ReplicaSelector(rls, sites)
+    with pytest.raises(ReplicaNotFoundError):
+        selector.best("/lfn/none", sites["SiteA"])
+
+
+def test_local_replica_always_wins(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteA", "/lfn/x", 1 * GB)
+    rls.register("SiteB", "/lfn/x", 1 * GB)
+    selector = ReplicaSelector(rls, sites)
+    assert selector.score(rls.locate("/lfn/x")[0], sites["SiteA"]) == LOCAL_SCORE
+    assert selector.best("/lfn/x", sites["SiteA"]).site == "SiteA"
+
+
+def test_prefers_wider_route(eng, net):
+    sites, rls = build(
+        eng, net, names=("Dst", "Fat", "Thin"),
+        bws={"Fat": 1e9, "Thin": 1e6},
+    )
+    rls.register("Fat", "/lfn/x", 1 * GB)
+    rls.register("Thin", "/lfn/x", 1 * GB)
+    selector = ReplicaSelector(rls, sites)
+    assert selector.best("/lfn/x", sites["Dst"]).site == "Fat"
+
+
+def test_avoids_dead_gridftp_source(eng, net):
+    sites, rls = build(eng, net, bws={"SiteB": 1e9})
+    rls.register("SiteB", "/lfn/x", 1 * GB)  # fat pipe, but dead server
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    sites["SiteB"].service("gridftp").fail("crashed")
+    selector = ReplicaSelector(rls, sites)
+    assert selector.score(rls.locate("/lfn/x")[0], sites["SiteA"]) == DEAD_SCORE
+    assert selector.best("/lfn/x", sites["SiteA"]).site == "SiteC"
+    assert selector.dead_sources_avoided == 1
+
+
+def test_avoids_interrupted_link(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteB", "/lfn/x", 1 * GB)
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    net.interrupt_link("SiteB-up")
+    selector = ReplicaSelector(rls, sites)
+    assert selector.best("/lfn/x", sites["SiteA"]).site == "SiteC"
+
+
+def test_contended_route_scores_lower(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteB", "/lfn/x", 1 * GB)
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    # Load SiteB's uplink with an active flow; SiteC stays idle.
+    net.start_transfer(["SiteB-up"], 10 * GB, "bg")
+    selector = ReplicaSelector(rls, sites)
+    assert selector.best("/lfn/x", sites["SiteA"]).site == "SiteC"
+
+
+def test_equal_scores_tie_break_on_site_name(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    rls.register("SiteB", "/lfn/x", 1 * GB)
+    selector = ReplicaSelector(rls, sites)
+    ranked = selector.rank("/lfn/x", sites["SiteA"])
+    assert [r.site for r in ranked] == ["SiteB", "SiteC"]
+
+
+def test_lookup_size_uses_fallback_path(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteB", "/lfn/x", 3 * GB)
+    selector = ReplicaSelector(rls, sites)
+    assert selector.lookup_size("/lfn/x") == 3 * GB
+
+
+def test_selection_records_dataset_access(eng, net):
+    sites, rls = build(eng, net)
+    rls.register("SiteB", "/atlas/run1/dst", 1 * GB)
+    catalog = DatasetCatalog()
+    selector = ReplicaSelector(rls, sites, catalog=catalog, engine=eng)
+    selector.best("/atlas/run1/dst", sites["SiteA"])
+    ds = catalog.dataset_of("/atlas/run1/dst")
+    assert ds is not None and ds.accesses == 1
+    assert selector.counters()["selections"] == 1.0
+
+
+def test_selector_draws_no_rng(eng, net):
+    """Determinism guarantee: ranking is a pure function of sim state."""
+    sites, rls = build(eng, net)
+    rls.register("SiteB", "/lfn/x", 1 * GB)
+    rls.register("SiteC", "/lfn/x", 1 * GB)
+    selector = ReplicaSelector(rls, sites)
+    first = [r.site for r in selector.rank("/lfn/x", sites["SiteA"])]
+    for _ in range(5):
+        assert [r.site for r in selector.rank("/lfn/x", sites["SiteA"])] == first

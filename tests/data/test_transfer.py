@@ -1,0 +1,202 @@
+"""Tests for managed transfer queueing, retry, and RNG isolation."""
+
+import pytest
+
+from repro.data import TransferManager
+from repro.errors import ReplicaNotFoundError, ServiceUnavailableError
+from repro.middleware.rls import LocalReplicaCatalog, ReplicaLocationIndex
+from repro.middleware.srm import attach_srm
+from repro.sim import GB, MB, RngRegistry
+from repro.sim.units import DAY
+
+from ..conftest import make_site
+
+
+def build(eng, net, rng, names=("SiteA", "SiteB", "SiteC"), **kwargs):
+    sites = {}
+    rls = ReplicaLocationIndex(eng)
+    for name in names:
+        sites[name] = make_site(eng, net, name)
+        rls.attach_lrc(LocalReplicaCatalog(name))
+    manager = TransferManager(eng, sites, rng, rls=rls, **kwargs)
+    return sites, rls, manager
+
+
+def seed_file(sites, rls, site_name, lfn, size):
+    sites[site_name].storage.store(lfn, size)
+    rls.register(site_name, lfn, size)
+
+
+def test_submit_completes_and_moves_bytes(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    seed_file(sites, rls, "SiteA", "/lfn/x", 1 * GB)
+    ticket = manager.submit("/lfn/x", 1 * GB, "SiteB", vo="usatlas")
+    eng.run()
+    assert ticket.ok and ticket.error is None
+    assert "/lfn/x" in sites["SiteB"].storage
+    assert manager.completed == 1
+    assert manager.bytes_moved == 1 * GB
+    assert ticket.attempts == 1
+
+
+def test_register_publishes_new_replica(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    seed_file(sites, rls, "SiteA", "/lfn/x", 100 * MB)
+    manager.submit("/lfn/x", 100 * MB, "SiteB", register=True)
+    eng.run()
+    assert rls.sites_with("/lfn/x") == ["SiteA", "SiteB"]
+
+
+def test_already_local_short_circuits(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    seed_file(sites, rls, "SiteB", "/lfn/x", 1 * GB)
+    ticket = manager.submit("/lfn/x", 1 * GB, "SiteB")
+    eng.run()
+    assert ticket.ok
+    assert manager.bytes_moved == 0  # nothing crossed the WAN
+    assert eng.now == 0.0
+
+
+def test_unknown_destination_rejected(eng, net, rng):
+    _sites, _rls, manager = build(eng, net, rng)
+    with pytest.raises(KeyError):
+        manager.submit("/lfn/x", 1.0, "Nowhere")
+    with pytest.raises(ValueError):
+        manager.submit("/lfn/x", -1.0, "SiteA")
+
+
+def test_per_site_concurrency_bound(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng, max_concurrent_per_site=2)
+    for i in range(6):
+        seed_file(sites, rls, "SiteA", f"/lfn/{i}", 1 * GB)
+        manager.submit(f"/lfn/{i}", 1 * GB, "SiteB", src_name="SiteA")
+    assert manager.active("SiteB") == 2
+    assert manager.queued("SiteB") == 4
+    eng.run()
+    assert manager.completed == 6
+    assert manager.active() == 0 and manager.queued() == 0
+
+
+def test_retry_succeeds_after_service_restored(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    seed_file(sites, rls, "SiteA", "/lfn/x", 100 * MB)
+    sites["SiteB"].service("gridftp").fail("crashed")
+    ticket = manager.submit("/lfn/x", 100 * MB, "SiteB", src_name="SiteA")
+
+    def repair():
+        yield eng.timeout(200.0)
+        sites["SiteB"].service("gridftp").restore("fixed")
+
+    eng.process(repair())
+    eng.run()
+    assert ticket.ok
+    assert ticket.attempts > 1
+    assert manager.retries >= 1
+    assert "/lfn/x" in sites["SiteB"].storage
+
+
+def test_retry_reroutes_around_dead_source(eng, net, rng):
+    from repro.data import ReplicaSelector
+    sites, rls, manager = build(eng, net, rng)
+    manager.selector = ReplicaSelector(rls, sites)
+    seed_file(sites, rls, "SiteA", "/lfn/x", 100 * MB)
+    seed_file(sites, rls, "SiteC", "/lfn/x", 100 * MB)
+    sites["SiteA"].service("gridftp").fail("crashed")
+    ticket = manager.submit("/lfn/x", 100 * MB, "SiteB")
+    eng.run()
+    # The selector steered the very first attempt to the live copy.
+    assert ticket.ok and ticket.attempts == 1
+    assert "/lfn/x" in sites["SiteB"].storage
+
+
+def test_exhausted_retries_fail_the_ticket(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng, max_attempts=3)
+    seed_file(sites, rls, "SiteA", "/lfn/x", 100 * MB)
+    sites["SiteB"].service("gridftp").fail("crashed")  # stays down
+    ticket = manager.submit("/lfn/x", 100 * MB, "SiteB", src_name="SiteA")
+    eng.run(until=2 * DAY)
+    assert ticket.state == "failed" and not ticket.ok
+    assert ticket.attempts == 3
+    assert isinstance(ticket.error, ServiceUnavailableError)
+    assert manager.failed == 1
+
+
+def test_no_source_replica_fails(eng, net, rng):
+    _sites, _rls, manager = build(eng, net, rng, max_attempts=1)
+    ticket = manager.submit("/lfn/none", 1 * GB, "SiteB")
+    eng.run(until=1 * DAY)
+    assert not ticket.ok
+    assert isinstance(ticket.error, ReplicaNotFoundError)
+
+
+def test_srm_reservation_wraps_write(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    srm = attach_srm(eng, sites["SiteB"])
+    seed_file(sites, rls, "SiteA", "/lfn/x", 1 * GB)
+    ticket = manager.submit("/lfn/x", 1 * GB, "SiteB", src_name="SiteA")
+    eng.run()
+    assert ticket.ok
+    assert srm.reservations_granted == 1
+    # The reservation was settled: no space remains stranded.
+    assert sites["SiteB"].storage.reserved == pytest.approx(0.0)
+
+
+def test_failed_attempt_releases_reservation(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng, max_attempts=1)
+    srm = attach_srm(eng, sites["SiteB"])
+    seed_file(sites, rls, "SiteA", "/lfn/x", 1 * GB)
+    # Source dies so the transfer itself fails after the reservation.
+    sites["SiteA"].service("gridftp").fail("crashed")
+    ticket = manager.submit("/lfn/x", 1 * GB, "SiteB", src_name="SiteA")
+    eng.run(until=1 * DAY)
+    assert not ticket.ok
+    assert srm.reservations_granted == 1
+    assert sites["SiteB"].storage.reserved == pytest.approx(0.0)
+
+
+def test_drain_waits_for_everything(eng, net, rng):
+    sites, rls, manager = build(eng, net, rng)
+    for i in range(3):
+        seed_file(sites, rls, "SiteA", f"/lfn/{i}", 1 * GB)
+        manager.submit(f"/lfn/{i}", 1 * GB, "SiteC", src_name="SiteA")
+
+    eng.run_process(manager.drain())
+    assert manager.outstanding() == []
+    assert manager.completed == 3
+
+
+def test_backoff_draws_only_data_streams(eng, net, rng):
+    """Same-seed runs without managed transfers stay byte-identical:
+    the jitter stream is dedicated, so other streams are unperturbed."""
+    r1 = RngRegistry(99)
+    baseline = [r1.exponential("gridftp.setup", 1.0) for _ in range(5)]
+    r2 = RngRegistry(99)
+    first = r2.exponential("gridftp.setup", 1.0)
+    # Interleave jitter draws exactly as a retrying manager would.
+    for _ in range(10):
+        r2.uniform("data.transfer.jitter.SiteB", 0.5, 1.5)
+    rest = [r2.exponential("gridftp.setup", 1.0) for _ in range(4)]
+    assert [first, *rest] == baseline
+
+
+def test_backoff_grows_exponentially(eng, net, rng):
+    sites, rls, manager = build(
+        eng, net, rng, max_attempts=4,
+        backoff_base=100.0, backoff_cap=10_000.0,
+    )
+    seed_file(sites, rls, "SiteA", "/lfn/x", 100 * MB)
+    sites["SiteB"].service("gridftp").fail("crashed")
+    ticket = manager.submit("/lfn/x", 100 * MB, "SiteB", src_name="SiteA")
+    ticket.attempts = 1
+    d1 = manager._backoff(ticket)
+    ticket.attempts = 2
+    d2 = manager._backoff(ticket)
+    ticket.attempts = 3
+    d3 = manager._backoff(ticket)
+    # Jitter is x0.5..x1.5 around 100 / 200 / 400.
+    assert 50.0 <= d1 <= 150.0
+    assert 100.0 <= d2 <= 300.0
+    assert 200.0 <= d3 <= 600.0
+    ticket.attempts = 20
+    assert manager._backoff(ticket) <= 15_000.0  # capped
+    eng.run(until=1 * DAY)

@@ -229,3 +229,43 @@ def test_property_maxmin_never_exceeds_capacity(n_flows, caps):
     for link in net.links.values():
         total = sum(f.rate for f in link.flows)
         assert total <= link.bandwidth * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=5e3), min_size=1, max_size=12),
+    caps=st.lists(st.floats(min_value=5.0, max_value=500.0), min_size=3, max_size=3),
+    kill=st.integers(min_value=0, max_value=2),
+)
+def test_property_maxmin_never_overcommits_during_run(sizes, caps, kill):
+    """Property: at *every* recompute — flow arrival, departure, and link
+    interruption — the max-min allocation keeps the sum of flow rates on
+    each link at or below its capacity.  This is the invariant managed
+    transfers lean on: queueing more work can slow flows down but never
+    oversubscribes a pipe."""
+    eng = Engine()
+    net = Network(eng)
+    names = ["a", "b", "c"]
+    for name, cap in zip(names, caps):
+        net.add_link(name, cap)
+    routes = [["a"], ["b"], ["c"], ["a", "b"], ["b", "c"], ["a", "b", "c"]]
+
+    def check():
+        for link in net.links.values():
+            if not link.up:
+                continue
+            total = sum(f.rate for f in link.flows)
+            assert total <= link.bandwidth * (1 + 1e-9)
+
+    for i, size in enumerate(sizes):
+        net.start_transfer(routes[i % len(routes)], size)
+        check()
+    # Knock one link out and back mid-run: rates must stay feasible
+    # through the reroute-free stall and the restore recompute.
+    net.interrupt_link(names[kill])
+    check()
+    net.restore_link(names[kill])
+    check()
+    while eng.step():
+        check()
+    assert net.active_flows == []

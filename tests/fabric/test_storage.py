@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import StorageFullError
+from repro.errors import ReservationError, StorageFullError
 from repro.fabric import FileObject, StorageElement
 from repro.sim import Engine, GB
 
@@ -125,11 +125,32 @@ def test_release_reservation_returns_unused():
     se.release_reservation(res)
     assert se.reserved == pytest.approx(0.0)
     assert se.free == pytest.approx(8 * GB)
-    # Releasing twice is harmless.
-    se.release_reservation(res)
     # Using a released reservation fails.
     with pytest.raises(StorageFullError):
         se.store("g", 1 * GB, reservation=res)
+
+
+def test_double_release_raises():
+    """Regression: releasing twice used to silently credit ``available``
+    back a second time, corrupting the capacity invariant."""
+    se = make_se(capacity=10 * GB)
+    res = se.reserve(6 * GB)
+    se.store("f", 2 * GB, reservation=res)
+    se.release_reservation(res)
+    with pytest.raises(ReservationError):
+        se.release_reservation(res)
+    # Accounting unharmed by the rejected second release.
+    assert se.reserved == pytest.approx(0.0)
+    assert se.free == pytest.approx(8 * GB)
+
+
+def test_release_against_wrong_se_raises():
+    se1, se2 = make_se(), make_se()
+    res = se1.reserve(1 * GB)
+    with pytest.raises(ReservationError):
+        se2.release_reservation(res)
+    # The reservation stays live on its own SE.
+    se1.release_reservation(res)
 
 
 def test_reservation_wrong_se_rejected():

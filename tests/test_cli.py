@@ -152,3 +152,25 @@ def test_health_command_site_filter():
 
 def test_main_entry_point():
     assert main(["catalog"]) == 0
+
+
+def test_data_command_smoke():
+    code, text = run_cli([
+        "data", "--scale", "800", "--days", "1", "--no-failures",
+        "--apps", "exerciser", "--top", "3",
+    ])
+    assert code == 0
+    assert "occupancy" in text and "evictions" in text
+    assert "BNL_ATLAS" in text
+    assert "agent.sweeps" in text and "transfers.completed" in text
+
+
+def test_data_command_disk_scale_applies():
+    code, text = run_cli([
+        "data", "--scale", "400", "--days", "1", "--no-failures",
+        "--apps", "exerciser", "--disk-scale", "2000",
+    ])
+    assert code == 0
+    # Scaled-down disks show up directly in the capacity column:
+    # BNL_ATLAS's 8 TB becomes 0.00 TB at this divisor.
+    assert "0.00" in text
