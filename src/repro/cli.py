@@ -9,6 +9,7 @@ Subcommands
 ``export``     run and dump the ACDC job records as CSV
 ``health``     run and print the per-site, per-service availability table
 ``data``       run with the managed data subsystem, print storage tables
+``trace``      run with tracing on; render a job's span tree + phase breakdown
 
 Examples::
 
@@ -223,6 +224,61 @@ def cmd_data(args, out=print) -> int:
     return 0
 
 
+def cmd_trace(args, out=print) -> int:
+    """Run with end-to-end tracing and answer "where did the time go?"."""
+    from .trace import (
+        render_breakdown,
+        render_span_tree,
+        slowest_traces,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    grid = _build_grid(args)
+    grid.config.tracing = True
+    # Config edits above must land before construction side-effects; the
+    # builder read them in __init__, so rebuild with the final config.
+    grid = Grid3(grid.config)
+    grid.run_full()
+    store = grid.tracer.store
+    ops = grid.troubleshooting()
+
+    if args.job_id is not None:
+        root = store.trace_for_job(args.job_id)
+        if root is None:
+            out(f"no trace for execution-side job id {args.job_id} "
+                f"({len(store)} traces retained)")
+            return 1
+        for line in render_span_tree(root):
+            out(line)
+    else:
+        rows = [
+            (r["trace_id"], r["name"], r["vo"], r["status"],
+             f"{r['makespan']:.0f}s", r["critical_phase"],
+             ",".join(str(j) for j in r["job_ids"]) or "-")
+            for r in ops.slowest_jobs(args.top)
+        ]
+        out(f"slowest {len(rows)} of {len(store)} traced jobs:")
+        out(render_table(
+            ["trace", "job", "vo", "status", "makespan", "critical phase",
+             "exec ids"],
+            rows,
+        ))
+
+    out("")
+    for line in render_breakdown(ops.phase_breakdown(args.vo)):
+        out(line)
+
+    if args.perfetto:
+        n = write_chrome_trace(store, args.perfetto,
+                               clip_open_at=grid.engine.now)
+        out(f"\nwrote {n} trace events to {args.perfetto} "
+            f"(load in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        n = write_jsonl(store, args.jsonl)
+        out(f"wrote {n} spans to {args.jsonl}")
+    return 0
+
+
 def cmd_report(args, out=print) -> int:
     from .ops.reports import weekly_report
     grid = _build_grid(args)
@@ -296,6 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_data.add_argument("--disk-scale", type=float, default=None,
                         help="divide SE capacities (pressure regimes)")
     p_data.set_defaults(func=cmd_data)
+
+    p_trace = sub.add_parser(
+        "trace", help="run with tracing; span trees + phase breakdown"
+    )
+    _add_run_options(p_trace)
+    p_trace.add_argument(
+        "job_id", nargs="?", type=int, default=None,
+        help="execution-side job id to render (default: slowest-jobs table)",
+    )
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the slowest-jobs table (default 10)")
+    p_trace.add_argument("--vo", default=None,
+                         help="restrict the phase breakdown to one VO")
+    p_trace.add_argument("--perfetto", metavar="PATH",
+                         help="write a Chrome trace-event JSON file")
+    p_trace.add_argument("--jsonl", metavar="PATH",
+                         help="write a JSONL span dump")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_score = sub.add_parser(
         "score", help="score a run against the paper's shape claims"

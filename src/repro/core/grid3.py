@@ -143,6 +143,12 @@ class Grid3Config:
     #: Raising it manufactures the §6.2 disk-pressure regime at bench
     #: scales where the full-size disks would never fill.
     disk_scale: float = 1.0
+    #: End-to-end job tracing (the §8 cross-layer troubleshooting view).
+    #: Off by default: an untraced same-seed run is byte-identical to a
+    #: pre-tracing build; on, it adds no events and draws no RNG.
+    tracing: bool = False
+    #: Retained whole traces before FIFO eviction (bounded SpanStore).
+    trace_max_traces: int = 20_000
 
 
 class Grid3:
@@ -194,6 +200,14 @@ class Grid3:
             self.rls.attach_lrc(LocalReplicaCatalog(name, engine=self.engine))
         self.ledger = TransferLedger()
 
+        # End-to-end tracing (§4.7/§8 troubleshooting): a JobTracer when
+        # on, the shared no-op otherwise — call sites never branch.
+        from ..trace import NULL_TRACER, JobTracer
+        self.tracer = (
+            JobTracer(self.engine, max_traces=cfg.trace_max_traces)
+            if cfg.tracing else NULL_TRACER
+        )
+
         # Central services at the iGOC (§5.4).
         self.igoc = IGOC(self.engine)
         self.pacman_cache = PacmanCache()
@@ -211,6 +225,7 @@ class Grid3:
                 ledger=self.ledger,
                 high_watermark=cfg.data_high_watermark,
                 low_watermark=cfg.data_low_watermark,
+                tracer=self.tracer,
             )
 
         self.runner = Grid3Runner(
@@ -316,6 +331,10 @@ class Grid3:
             # The StorageAgent's data.* metric store joins the iGOC
             # monitoring estate alongside the rest of Fig. 1.
             self.monitors["data"] = self.data.store
+        if self.tracer.enabled:
+            # trace.* per-VO phase/makespan series, same query surface
+            # as every other MetricStore in the estate.
+            self.monitors["trace"] = self.tracer.metrics
         for name, service in self.monitors.items():
             self.igoc.host(name, service)
 
@@ -341,9 +360,10 @@ class Grid3:
                 proxy_provider=self._proxy_provider(vo),
                 selector=self.selector,
                 per_site_throttle=throttle,
+                tracer=self.tracer,
             )
             self.condorg[vo] = condorg
-            self.dagman[vo] = DAGMan(self.engine, condorg)
+            self.dagman[vo] = DAGMan(self.engine, condorg, tracer=self.tracer)
         self._deployed = True
 
     def _mds_renewal_loop(self):
@@ -447,9 +467,13 @@ class Grid3:
 
     def troubleshooting(self):
         """The §8 troubleshooting/accounting API over this grid,
-        data-management queries included when the subsystem is on."""
+        data-management and trace queries included when those
+        subsystems are on."""
         from ..ops import TroubleshootingAPI
-        return TroubleshootingAPI(self.sites, self.acdc_db, data=self.data)
+        return TroubleshootingAPI(
+            self.sites, self.acdc_db, data=self.data,
+            trace=self.tracer.store,
+        )
 
     def viewer(self) -> MDViewer:
         """An MDViewer over this run's monitoring data."""

@@ -141,6 +141,10 @@ class Job:
     #: job itself once it reaches DONE or FAILED (never fails — clients
     #: inspect ``job.state``).
     completion: Optional[object] = None
+    #: Active trace span for this attempt (a :class:`repro.trace.Span`),
+    #: set by the gatekeeper when tracing is on; None otherwise.  The
+    #: runner hangs its phase spans off it.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def vo(self) -> str:

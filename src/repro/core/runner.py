@@ -36,6 +36,7 @@ from ..errors import (
 from ..middleware import gridftp
 from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
+from ..trace import NULL_SPAN
 
 
 class Grid3Runner:
@@ -85,6 +86,13 @@ class Grid3Runner:
         spec = job.spec
         site = self.sites[job.site_name]
 
+        # Trace context: the attempt span GRAM hung off the job.  The
+        # queue wait ends the instant this wrapper starts executing.
+        span = job.trace or NULL_SPAN
+        queue_span = span.open_child("queue")
+        if queue_span is not None:
+            queue_span.finish()
+
         # Environment sanity (fails fast, like a wrapper script would).
         if spec.requires_outbound and not site.config.outbound_connectivity:
             raise self._fail(
@@ -120,6 +128,7 @@ class Grid3Runner:
         completed_ok = False
         try:
             # --- step 1: pre-stage inputs --------------------------------
+            stage_in_span = span.child("stage-in", phase="stage-in")
             for lfn, size in spec.inputs:
                 if lfn in site.storage:
                     continue
@@ -135,6 +144,7 @@ class Grid3Runner:
                     yield from gridftp.transfer(
                         engine, src, site, lfn, size,
                         reservation=local_reservation,
+                        span=stage_in_span,
                     )
                 except Exception as exc:
                     raise self._fail("pre-stage", exc)
@@ -146,10 +156,14 @@ class Grid3Runner:
                         engine.now, spec.vo, size, src.name, site.name,
                         kind="stage-in",
                     )
+            stage_in_span.finish()
 
             # --- step 2: execute ------------------------------------------
             # Wall-clock compute time scales with the node's speed
             # relative to the paper's 2 GHz reference (§4.5).
+            compute_span = span.child(
+                "compute", phase="compute", node=getattr(node, "node_id", ""),
+            )
             if spec.runtime > 0:
                 speed = getattr(site, "cpu_speed", 1.0) or 1.0
                 yield engine.timeout(spec.runtime / speed)
@@ -166,15 +180,18 @@ class Grid3Runner:
                     site.storage.store(lfn, size, reservation=local_reservation)
                 except Exception as exc:
                     raise self._fail("execute", exc)
+            compute_span.finish()
 
             # --- step 3: post-stage to the archive SE ---------------------
             if archive is not None:
+                stage_out_span = span.child("stage-out", phase="stage-out")
                 for lfn, size in spec.outputs:
                     try:
                         yield from gridftp.transfer(
                             engine, site, archive, lfn, size,
                             reservation=archive_reservation,
                             rls=self.rls if spec.register_outputs else None,
+                            span=stage_out_span,
                         )
                     except Exception as exc:
                         raise self._fail("post-stage", exc)
@@ -185,13 +202,17 @@ class Grid3Runner:
                             engine.now, spec.vo, size, site.name, archive.name,
                             kind="stage-out",
                         )
+                stage_out_span.finish()
             elif spec.register_outputs:
                 # --- step 4: register local outputs -----------------------
+                register_span = span.child("register", phase="register")
                 for lfn, size in spec.outputs:
                     try:
-                        self.rls.register(site.name, lfn, size)
+                        self.rls.register(site.name, lfn, size,
+                                          span=register_span)
                     except Exception as exc:
                         raise self._fail("register", exc)
+                register_span.finish()
             completed_ok = True
         finally:
             # Scratch hygiene: staged inputs always go; archived outputs

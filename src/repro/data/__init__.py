@@ -48,6 +48,7 @@ class DataManager:
         low_watermark: float = 0.70,
         max_concurrent_per_site: int = 4,
         replicate_hot: bool = True,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.sites = sites
@@ -60,6 +61,7 @@ class DataManager:
             engine, sites, rng, rls=rls, selector=self.selector,
             catalog=self.catalog, ledger=ledger,
             max_concurrent_per_site=max_concurrent_per_site,
+            tracer=tracer,
         )
         self.agent = StorageAgent(
             engine, sites, catalog=self.catalog, rls=rls,

@@ -43,6 +43,7 @@ from ..middleware import gridftp
 from ..sim.engine import Engine, Event
 from ..sim.rng import RngRegistry
 from ..sim.units import MINUTE
+from ..trace import NULL_TRACER
 
 #: Exception classes worth retrying: each maps to a §6 failure the
 #: system can recover from (service restored, link back, disk cleaned).
@@ -71,6 +72,9 @@ class TransferTicket:
     attempts: int = 0
     error: Optional[BaseException] = None
     done: Optional[Event] = None
+    #: Root span of this ticket's ``kind="transfer"`` trace (None or
+    #: NULL_SPAN when tracing is off).
+    span: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +116,7 @@ class TransferManager:
         max_attempts: int = 4,
         backoff_base: float = 2 * MINUTE,
         backoff_cap: float = 60 * MINUTE,
+        tracer=None,
     ) -> None:
         if max_concurrent_per_site < 1:
             raise ValueError("max_concurrent_per_site must be >= 1")
@@ -128,6 +133,8 @@ class TransferManager:
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Every managed ticket gets its own ``kind="transfer"`` trace.
+        self.tracer = tracer or NULL_TRACER
         self._queues: Dict[str, List[TransferTicket]] = {}
         self._active: Dict[str, int] = {}
         #: Lifetime counters (data.transfers.* metrics).
@@ -161,6 +168,10 @@ class TransferManager:
         ticket = TransferTicket(
             lfn=lfn, size=size, dst_name=dst_name, src_name=src_name,
             vo=vo, kind=kind, register=register, done=self.engine.event(),
+        )
+        ticket.span = self.tracer.start_trace(
+            f"transfer {lfn} -> {dst_name}", kind="transfer",
+            vo=vo, lfn=lfn, dst=dst_name, purpose=kind,
         )
         self.submitted += 1
         self._outstanding.append(ticket)
@@ -253,6 +264,13 @@ class TransferManager:
         self._active[ticket.dst_name] -= 1
         if ticket in self._outstanding:
             self._outstanding.remove(ticket)
+        if ticket.span is not None:
+            if ticket.error is not None:
+                ticket.span.annotate(error=type(ticket.error).__name__)
+            ticket.span.annotate(attempts=ticket.attempts)
+            self.tracer.finalize(
+                ticket.span, "ok" if state == "done" else "error",
+            )
         ticket.done.succeed(ticket)
         self._dispatch(ticket.dst_name)
 
@@ -280,6 +298,7 @@ class TransferManager:
                         self.engine, src, dst, ticket.lfn, ticket.size,
                         reservation=reservation,
                         rls=self.rls if ticket.register else None,
+                        span=ticket.span,
                     )
                 except RETRYABLE as exc:
                     ticket.error = exc

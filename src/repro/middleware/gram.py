@@ -34,6 +34,7 @@ from ..errors import (
 from ..services import GridService, ServiceLog
 from ..sim.engine import Engine
 from ..sim.units import MINUTE
+from ..trace import NULL_SPAN
 from .gsi import Authenticator, Proxy
 
 #: §6.4: load ~225 at ~1000 managed jobs.
@@ -112,42 +113,56 @@ class Gatekeeper(GridService):
         return out
 
     # -- submission protocol --------------------------------------------------
-    def submit(self, proxy: Proxy, spec: JobSpec) -> Job:
+    def submit(self, proxy: Proxy, spec: JobSpec, span=None) -> Job:
         """GRAM job submission: authenticate, admit, enqueue at the LRM.
 
         Raises AuthenticationError / AuthorizationError on credential
         problems, GatekeeperOverloadError when shedding load,
         ServiceUnavailableError when the gatekeeper (or its LRM) is down,
         and SubmissionError if no LRM is attached.
+
+        ``span`` is the submitter's attempt span: the GRAM handshake is
+        recorded under it, and on acceptance a ``queue`` span is left
+        open for the runner to close when the LRM starts the job.
         """
-        self.require_available("job submission")
-        account = self.authenticator.authenticate(proxy)  # may raise
-        current_load = self.load()
-        self.peak_load = max(self.peak_load, current_load)
-        if current_load > self.overload_threshold:
-            self.overload_rejections += 1
-            self.submissions_rejected += 1
-            self._record("overload_reject", -1, f"load={current_load:.0f}")
-            raise GatekeeperOverloadError(
-                f"gatekeeper at {self.site.name} overloaded "
-                f"(load {current_load:.0f} > {self.overload_threshold:.0f})"
-            )
-        if self.lrm is None:
-            self.submissions_rejected += 1
-            raise SubmissionError(f"no jobmanager/LRM at {self.site.name}")
-        self._recent_submissions.append(self.engine.now)
-        job = Job(spec=spec, site_name=self.site.name)
-        job.mark(JobState.PENDING, self.engine.now)
-        self.managed[job.job_id] = job
+        span = span or NULL_SPAN
+        sub = span.child("gram.submit", phase="submit", site=self.site.name)
         try:
-            self.lrm.submit(job)
-        except Exception:
-            # LRM policy rejection: the jobmanager exits immediately.
-            self.managed.pop(job.job_id, None)
-            self.submissions_rejected += 1
+            self.require_available("job submission")
+            account = self.authenticator.authenticate(proxy)  # may raise
+            current_load = self.load()
+            self.peak_load = max(self.peak_load, current_load)
+            if current_load > self.overload_threshold:
+                self.overload_rejections += 1
+                self.submissions_rejected += 1
+                self._record("overload_reject", -1, f"load={current_load:.0f}")
+                raise GatekeeperOverloadError(
+                    f"gatekeeper at {self.site.name} overloaded "
+                    f"(load {current_load:.0f} > {self.overload_threshold:.0f})"
+                )
+            if self.lrm is None:
+                self.submissions_rejected += 1
+                raise SubmissionError(f"no jobmanager/LRM at {self.site.name}")
+            self._recent_submissions.append(self.engine.now)
+            job = Job(spec=spec, site_name=self.site.name)
+            job.mark(JobState.PENDING, self.engine.now)
+            self.managed[job.job_id] = job
+            try:
+                self.lrm.submit(job)
+            except Exception:
+                # LRM policy rejection: the jobmanager exits immediately.
+                self.managed.pop(job.job_id, None)
+                self.submissions_rejected += 1
+                raise
+        except BaseException as exc:
+            sub.finish("error", error=type(exc).__name__)
             raise
         self.submissions_accepted += 1
         self._record("submit", job.job_id, f"{spec.name} as {account}")
+        sub.finish("ok")
+        job.trace = span or None
+        # Opened here at LRM-enqueue time; the runner closes it at start.
+        span.child("queue", phase="queue", site=self.site.name)
         return job
 
     def job_finished(self, job: Job) -> None:

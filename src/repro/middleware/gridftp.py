@@ -26,6 +26,7 @@ from ..services import GridService, ServiceLog
 from ..sim.engine import Engine
 from ..sim.resources import Resource
 from ..sim.units import SECOND
+from ..trace import NULL_SPAN
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,7 @@ def transfer(
     write_to_storage: bool = True,
     reservation=None,
     rls=None,
+    span=None,
 ):
     """Generator: move ``size`` bytes of ``lfn`` from src to dst.
 
@@ -110,64 +112,77 @@ def transfer(
     unless ``reservation`` covers it).  With ``rls`` given, the new
     replica is registered (the ATLAS/LIGO publication step).
 
+    With ``span`` given, the whole transfer (slot wait included) is
+    recorded as a child span — the NetLogger lifeline, inside the
+    owning job's trace.
+
     Returns the byte count on success.  Always releases its connection
     slots, even on failure.
     """
     if size < 0:
         raise TransferError(f"negative transfer size for {lfn}")
-    src_server: GridFTPServer = src_site.service("gridftp")
-    dst_server: GridFTPServer = dst_site.service("gridftp")
-    for server in (src_server, dst_server):
-        if not server.available:
-            server.transfers_failed += 1
-        server.require_available(f"transfer of {lfn}")
-
-    # Acquire connection slots in a canonical (site-name) order so that
-    # opposing transfer pairs (A->B while B->A) can never deadlock on
-    # exhausted connection pools.
-    ordered = sorted({src_server, dst_server}, key=lambda s: s.site.name)
-    slots = [(server, server.connections.request()) for server in ordered]
-    granted = []
+    tspan = (span or NULL_SPAN).child(
+        f"gridftp {lfn}", phase="transfer",
+        src=src_site.name, dst=dst_site.name, bytes=size,
+    )
     try:
-        for server, slot in slots:
-            yield slot
-            granted.append((server, slot))
-        src_server.log("transfer.start", lfn, size)
-        if src_server.setup_latency + dst_server.setup_latency > 0:
-            yield engine.timeout(src_server.setup_latency + dst_server.setup_latency)
-        flow = src_site.network.start_transfer(
-            src_site.route_to(dst_site), size, label=lfn
-        )
+        src_server: GridFTPServer = src_site.service("gridftp")
+        dst_server: GridFTPServer = dst_site.service("gridftp")
+        for server in (src_server, dst_server):
+            if not server.available:
+                server.transfers_failed += 1
+            server.require_available(f"transfer of {lfn}")
+
+        # Acquire connection slots in a canonical (site-name) order so that
+        # opposing transfer pairs (A->B while B->A) can never deadlock on
+        # exhausted connection pools.
+        ordered = sorted({src_server, dst_server}, key=lambda s: s.site.name)
+        slots = [(server, server.connections.request()) for server in ordered]
+        granted = []
         try:
-            yield flow.done
-        except NetworkInterruptionError as exc:
-            src_server.log("transfer.error", lfn, size, detail=str(exc))
-            src_server.transfers_failed += 1
-            dst_server.transfers_failed += 1
-            raise
-        if write_to_storage:
+            for server, slot in slots:
+                yield slot
+                granted.append((server, slot))
+            src_server.log("transfer.start", lfn, size)
+            if src_server.setup_latency + dst_server.setup_latency > 0:
+                yield engine.timeout(src_server.setup_latency + dst_server.setup_latency)
+            flow = src_site.network.start_transfer(
+                src_site.route_to(dst_site), size, label=lfn
+            )
             try:
-                dst_site.storage.store(lfn, size, reservation=reservation)
-            except StorageFullError as exc:
+                yield flow.done
+            except NetworkInterruptionError as exc:
                 src_server.log("transfer.error", lfn, size, detail=str(exc))
                 src_server.transfers_failed += 1
                 dst_server.transfers_failed += 1
                 raise
-        if rls is not None:
-            rls.register(dst_site.name, lfn, size)
-    finally:
-        granted_slots = {id(slot) for _srv, slot in granted}
-        for server, slot in slots:
-            if id(slot) in granted_slots:
-                server.connections.release(slot)
-            elif not slot.triggered:
-                slot.cancel()
-            else:
-                # Granted between our interruption and cleanup.
-                server.connections.release(slot)
+            if write_to_storage:
+                try:
+                    dst_site.storage.store(lfn, size, reservation=reservation)
+                except StorageFullError as exc:
+                    src_server.log("transfer.error", lfn, size, detail=str(exc))
+                    src_server.transfers_failed += 1
+                    dst_server.transfers_failed += 1
+                    raise
+            if rls is not None:
+                rls.register(dst_site.name, lfn, size, span=tspan)
+        finally:
+            granted_slots = {id(slot) for _srv, slot in granted}
+            for server, slot in slots:
+                if id(slot) in granted_slots:
+                    server.connections.release(slot)
+                elif not slot.triggered:
+                    slot.cancel()
+                else:
+                    # Granted between our interruption and cleanup.
+                    server.connections.release(slot)
+    except BaseException as exc:
+        tspan.finish("error", error=type(exc).__name__)
+        raise
     src_server.log("transfer.end", lfn, size)
     src_server.bytes_sent += size
     dst_server.bytes_received += size
     src_server.transfers_ok += 1
     dst_server.transfers_ok += 1
+    tspan.finish("ok")
     return size

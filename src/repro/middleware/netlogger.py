@@ -138,6 +138,64 @@ def grid_archive(servers: Iterable[GridFTPServer]) -> Dict[str, TransferStatisti
     }
 
 
+def lifelines_to_spans(
+    lifelines: Iterable[TransferLifeline],
+    tracer,
+    parent=None,
+) -> List:
+    """File reconstructed lifelines as spans in a trace tree.
+
+    This is the §4.7 "instead of a separate report" join: NetLogger
+    lifelines recovered from a server's event ring become backdated
+    ``phase="transfer"`` spans under ``parent`` (the owning job's span),
+    or each under its own trace root when ``parent`` is None.  Uses
+    :meth:`~repro.trace.JobTracer.record`, so simulated time is
+    preserved exactly; returns the created spans in lifeline order.
+    """
+    spans = []
+    for lifeline in lifelines:
+        status = {"ok": "ok", "error": "error"}.get(lifeline.outcome, "open")
+        spans.append(tracer.record(
+            parent,
+            f"gridftp {lifeline.lfn}",
+            start=lifeline.started_at,
+            end=lifeline.ended_at,
+            phase="transfer",
+            status=status,
+            src=lifeline.host,
+            bytes=lifeline.size,
+            **({"error": lifeline.error_detail} if lifeline.error_detail else {}),
+        ))
+    return spans
+
+
+def trace_lifelines(root) -> List[TransferLifeline]:
+    """The reverse join: a trace tree's transfer spans as lifelines.
+
+    Lets the existing archive analytics (:func:`compute_statistics`,
+    :func:`find_anomalies`) run over one job's trace instead of a
+    server's event ring — the per-job NetLogger archive page.
+    """
+    lifelines = []
+    for span in root.walk():
+        if span.phase != "transfer":
+            continue
+        lifelines.append(TransferLifeline(
+            host=str(span.attrs.get("src", "")),
+            lfn=span.name.replace("gridftp ", "", 1),
+            size=float(span.attrs.get("bytes", 0.0)),
+            started_at=span.start,
+            ended_at=span.end,
+            outcome=(
+                "in-flight" if span.end < 0
+                else ("ok" if span.status == "ok" else "error")
+            ),
+            error_detail=str(span.attrs.get("error", "")),
+        ))
+    lifelines.sort(key=lambda l: l.started_at)
+    return lifelines
+
+
 def find_anomalies(
     lifelines: Iterable[TransferLifeline],
     now: float,

@@ -103,17 +103,22 @@ class ReplicaLocationIndex(GridService):
         return self._lrcs[site_name]
 
     # -- mutation --------------------------------------------------------------
-    def register(self, site_name: str, lfn: str, size: float) -> Replica:
+    def register(self, site_name: str, lfn: str, size: float, span=None) -> Replica:
         """Record a new replica at ``site_name`` and index it.
 
         This is the "registration to RLS" step whose failure counted
         toward ATLAS's 30 % (§6.1) — callers treat exceptions here as a
-        job failure.
+        job failure.  With ``span`` given the registration appears as a
+        (zero-duration) child span in the caller's trace.
         """
         self.require_available(f"registration of {lfn}")
         replica = self._lrcs[site_name].add(lfn, size)
         self._index.setdefault(lfn, set()).add(site_name)
         self.registrations += 1
+        if span is not None and span:
+            span.child(
+                "rls.register", phase="register", lfn=lfn, site=site_name,
+            ).finish()
         return replica
 
     def unregister(self, site_name: str, lfn: str) -> None:

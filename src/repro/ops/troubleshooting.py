@@ -88,11 +88,16 @@ class JobLinkIndex:
 class TroubleshootingAPI:
     """Direct (no-log-parsing) troubleshooting queries over a built grid."""
 
-    def __init__(self, sites: Dict[str, object], acdc_db, data=None) -> None:
+    def __init__(
+        self, sites: Dict[str, object], acdc_db, data=None, trace=None,
+    ) -> None:
         self.sites = sites
         self.acdc_db = acdc_db
         #: Optional DataManager: storage/data queries answer from it.
         self.data = data
+        #: Optional SpanStore: trace-backed queries (slowest_jobs,
+        #: phase_breakdown, trace_for_job) answer from it.
+        self.trace = trace
 
     # -- per-job ------------------------------------------------------------
     def job_timeline(self, job_id: int) -> List[Tuple[float, str]]:
@@ -110,6 +115,52 @@ class TroubleshootingAPI:
                 timeline.append((record.finished_at, outcome))
                 return timeline
         return []
+
+    # -- trace-backed queries (the tracing pipeline's ops surface) ------------
+    def trace_for_job(self, job_id: int):
+        """Root span of the trace owning an execution-side job id
+        (None without tracing, or for an unknown/evicted id)."""
+        if self.trace is None:
+            return None
+        return self.trace.trace_for_job(job_id)
+
+    def slowest_jobs(self, n: int = 10) -> List[Dict[str, object]]:
+        """The ``n`` longest-makespan job traces, slowest first.
+
+        Each row joins the submit-side trace identity to its
+        execution-side job ids — the §8 cross-side link, ranked the way
+        an operator chasing "why is this VO slow?" wants it.  Empty
+        without tracing.
+        """
+        if self.trace is None:
+            return []
+        from ..trace.analysis import job_breakdown, slowest_traces
+        rows = []
+        for makespan, root in slowest_traces(self.trace, n):
+            breakdown = job_breakdown(root)
+            rows.append({
+                "trace_id": root.trace_id,
+                "name": root.name,
+                "vo": root.attrs.get("vo", ""),
+                "status": root.status,
+                "makespan": makespan,
+                "job_ids": self.trace.jobs_for(root.trace_id),
+                "critical_phase": max(
+                    ("queue", "stage-in", "compute", "stage-out", "retry",
+                     "other"),
+                    key=lambda p: breakdown[p],
+                ),
+            })
+        return rows
+
+    def phase_breakdown(self, vo: Optional[str] = None) -> Dict[str, object]:
+        """Grid-wide makespan attribution by phase (optionally one VO):
+        the aggregate critical-path view over every retained job trace.
+        Empty without tracing."""
+        if self.trace is None:
+            return {}
+        from ..trace.analysis import aggregate_breakdown
+        return aggregate_breakdown(self.trace.roots(), vo=vo)
 
     # -- GRAM accounting (the §8 ask, no log parsing) -------------------------
     def gram_accounting(self, site_name: str) -> Dict[str, float]:

@@ -24,6 +24,7 @@ from ..errors import (
 from ..sim.engine import Engine, Event
 from ..sim.resources import Resource
 from ..sim.units import MINUTE
+from ..trace import NULL_SPAN, NULL_TRACER
 
 
 class GridJobHandle:
@@ -40,6 +41,8 @@ class GridJobHandle:
         self.attempts = 0
         self.job: Optional[Job] = None
         self.sites_tried: List[str] = []
+        #: Root span of this job's trace (NULL_SPAN when tracing is off).
+        self.trace = NULL_SPAN
 
     @property
     def succeeded(self) -> bool:
@@ -59,6 +62,7 @@ class CondorG:
         max_retries: int = 2,
         per_site_throttle: int = 100,
         retry_delay: float = 5 * MINUTE,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -67,6 +71,9 @@ class CondorG:
         #: Optional SiteSelector; when set, submissions without an
         #: explicit site are matched, and retries move to other sites.
         self.selector = selector
+        #: JobTracer (or the shared no-op): one trace per logical job,
+        #: rooted here at the submit host.
+        self.tracer = tracer or NULL_TRACER
         self.max_retries = max_retries
         self.retry_delay = retry_delay
         self._throttles: Dict[str, Resource] = {
@@ -79,9 +86,22 @@ class CondorG:
         self.resubmissions = 0
         self.unmatched = 0
 
-    def submit(self, spec: JobSpec, site_name: Optional[str] = None) -> GridJobHandle:
-        """Queue a grid job; returns its handle immediately."""
+    def submit(
+        self,
+        spec: JobSpec,
+        site_name: Optional[str] = None,
+        trace_attrs: Optional[Dict[str, object]] = None,
+    ) -> GridJobHandle:
+        """Queue a grid job; returns its handle immediately.
+
+        ``trace_attrs`` are extra attributes for the job's trace root
+        (DAGMan stamps its dag/node identity through here).
+        """
         handle = GridJobHandle(self.engine, spec)
+        handle.trace = self.tracer.start_trace(
+            spec.name, kind="job", vo=spec.vo, user=spec.user,
+            submit_host=self.name, **(trace_attrs or {}),
+        )
         self.engine.process(self._manage(handle, site_name), name=f"condorg-{spec.name}")
         self.submitted += 1
         return handle
@@ -101,6 +121,7 @@ class CondorG:
 
     def _manage(self, handle: GridJobHandle, pinned: Optional[str]):
         spec = handle.spec
+        root = handle.trace
         last_job: Optional[Job] = None
         while handle.attempts <= self.max_retries:
             site_name = self._pick_site(spec, pinned, handle.sites_tried)
@@ -109,24 +130,34 @@ class CondorG:
             handle.attempts += 1
             handle.sites_tried.append(site_name)
             site = self.sites[site_name]
+            attempt_span = root.child(
+                f"attempt-{handle.attempts}", phase="attempt", site=site_name,
+            )
             throttle = self._throttles[site_name]
             slot = throttle.request()
             yield slot
             try:
-                job = yield from self._submit_with_backoff(site, spec)
-            except GridError:
+                job = yield from self._submit_with_backoff(site, spec, attempt_span)
+            except GridError as exc:
                 throttle.release(slot)
+                attempt_span.close_subtree("error")
+                attempt_span.annotate(error=type(exc).__name__)
                 # Site unusable right now: try another (or give up).
                 if handle.attempts <= self.max_retries:
                     self.resubmissions += 1
                 continue
             job.attempt = handle.attempts
+            self.tracer.bind_job(job.job_id, attempt_span)
+            attempt_span.annotate(job_id=job.job_id)
             if self.selector is not None:
                 self.selector.record_use(spec.vo, spec.user, site_name)
             final = yield job.completion
             throttle.release(slot)
             gatekeeper = site.service("gatekeeper")
             gatekeeper.job_finished(final)
+            if final.error is not None:
+                attempt_span.annotate(error=type(final.error).__name__)
+            attempt_span.close_subtree("ok" if final.succeeded else "error")
             last_job = final
             if final.succeeded:
                 break
@@ -143,9 +174,10 @@ class CondorG:
             self.completed += 1
         else:
             self.failed += 1
+        self.tracer.finalize(root, "ok" if last_job.succeeded else "error")
         handle.done.succeed(last_job)
 
-    def _submit_with_backoff(self, site, spec: JobSpec):
+    def _submit_with_backoff(self, site, spec: JobSpec, span=NULL_SPAN):
         """One GRAM submission, retrying transient errors with backoff.
 
         Overload and service-down errors are transient (retried in
@@ -157,7 +189,7 @@ class CondorG:
             gatekeeper = site.service("gatekeeper")
             proxy = self.proxy_provider(spec.user)
             try:
-                return gatekeeper.submit(proxy, spec)
+                return gatekeeper.submit(proxy, spec, span=span)
             except (GatekeeperOverloadError, ServiceUnavailableError):
                 yield self.engine.timeout(delay)
                 delay *= 2

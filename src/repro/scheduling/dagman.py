@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..sim.engine import AnyOf, Engine
+from ..trace import NULL_TRACER
 from ..workflow.dag import DAG, DagNode, NodeState
 from .condorg import CondorG, GridJobHandle
 
@@ -38,22 +39,41 @@ class DagmanRun:
 class DAGMan:
     """Executes DAGs through a Condor-G submit host."""
 
-    def __init__(self, engine: Engine, condorg: CondorG, max_idle: int = 50) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        condorg: CondorG,
+        max_idle: int = 50,
+        tracer=None,
+    ) -> None:
         self.engine = engine
         self.condorg = condorg
         #: Throttle on simultaneously submitted (not yet finished) nodes,
         #: DAGMan's -maxidle/-maxjobs knob.
         self.max_idle = max_idle
+        #: Workflow-level tracer; inherits the submit host's when unset,
+        #: so dag and job traces land in the same store.
+        self.tracer = tracer or getattr(condorg, "tracer", None) or NULL_TRACER
 
     def run(self, dag: DAG):
         """Generator process: execute ``dag`` to quiescence.
 
         Returns a :class:`DagmanRun`.  Compose with ``yield from`` or
         wrap in ``engine.process``.
+
+        Tracing: the DAG gets a ``kind="workflow"`` trace with one span
+        per node submission; each node's grid job keeps its own rooted
+        job trace (linked back through ``dag``/``node`` attributes), so
+        the one-tree-per-job invariant survives workflow nesting.
         """
         result = DagmanRun(dag)
+        dag_name = getattr(dag, "name", "dag")
+        workflow = self.tracer.start_trace(
+            f"dag:{dag_name}", kind="workflow", nodes=len(dag),
+        )
         #: node_id -> in-flight handle
         in_flight: Dict[str, GridJobHandle] = {}
+        node_spans: Dict[str, object] = {}
 
         while True:
             # Submit every READY node within the idle throttle.
@@ -62,8 +82,15 @@ class DAGMan:
                     break
                 node.state = NodeState.SUBMITTED
                 node.attempts_used += 1
-                handle = self.condorg.submit(node.spec, node.pin_site)
+                handle = self.condorg.submit(
+                    node.spec, node.pin_site,
+                    trace_attrs={"dag": dag_name, "node": node.node_id},
+                )
                 in_flight[node.node_id] = handle
+                node_spans[node.node_id] = workflow.child(
+                    node.node_id, phase="dag-node",
+                    trace_id=handle.trace.trace_id,
+                )
             if not in_flight:
                 break
             # Wait for any in-flight node to finish.
@@ -76,6 +103,7 @@ class DAGMan:
             for node_id, handle in finished:
                 del in_flight[node_id]
                 node = dag.node(node_id)
+                node_span = node_spans.pop(node_id, None)
                 if handle.job is not None:
                     result.jobs.append(handle.job)
                 if handle.succeeded:
@@ -90,4 +118,9 @@ class DAGMan:
                     result.nodes_unreachable += len(
                         dag.mark_unreachable_descendants(node_id)
                     )
+                if node_span is not None:
+                    node_span.finish("ok" if handle.succeeded else "error")
+        self.tracer.finalize(
+            workflow, "ok" if dag.succeeded else "error",
+        )
         return result

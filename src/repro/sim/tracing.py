@@ -2,43 +2,67 @@
 
 Debugging a deadlocked or misbehaving simulation usually starts with
 "what ran, when?".  :class:`Tracer` hooks an :class:`~repro.sim.engine.Engine`
-and records a bounded ring of (time, kind, label) entries for processed
-events — cheap enough to leave on during test debugging, structured
-enough to assert against.
+and records a bounded ring of (seq, time, kind, label, span) entries for
+processed events — cheap enough to leave on during test debugging,
+structured enough to assert against.
 
     tracer = Tracer(engine, capacity=10_000)
     ... run ...
     print(tracer.render_tail(20))
     tracer.detach()
+
+Every entry carries a monotone sequence number (its absolute position
+in the event stream), so entries keep a stable identity after the ring
+wraps: ``entry.seq`` never shifts, ``dropped`` says exactly how many
+earlier entries the bound discarded, and :meth:`render_tail` reports
+the gap instead of silently pretending the trace starts at zero.
+
+``span_source`` bridges the kernel view to the distributed-tracing
+layer: pass a zero-argument callable (typically
+``JobTracer.current_label``) and each entry records which job-lifecycle
+span was active when the event processed.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .engine import Engine, Event, Process, Timeout
 
 
 class TraceEntry(tuple):
-    """(time, kind, label) — a plain tuple with named accessors."""
+    """(seq, time, kind, label, span) — a plain tuple with named
+    accessors.  ``seq`` is the entry's absolute index in the event
+    stream (stable across ring wraparound); ``span`` is the active
+    distributed-tracing span label ("" without a span_source)."""
 
     __slots__ = ()
 
-    def __new__(cls, time: float, kind: str, label: str):
-        return super().__new__(cls, (time, kind, label))
+    def __new__(cls, seq: int, time: float, kind: str, label: str,
+                span: str = ""):
+        return super().__new__(cls, (seq, time, kind, label, span))
 
     @property
-    def time(self) -> float:
+    def seq(self) -> int:
         return self[0]
 
     @property
-    def kind(self) -> str:
+    def time(self) -> float:
         return self[1]
 
     @property
-    def label(self) -> str:
+    def kind(self) -> str:
         return self[2]
+
+    @property
+    def label(self) -> str:
+        return self[3]
+
+    @property
+    def span(self) -> str:
+        return self[4]
 
 
 def _describe(event: Event) -> Tuple[str, str]:
@@ -51,12 +75,24 @@ def _describe(event: Event) -> Tuple[str, str]:
 
 
 class Tracer:
-    """Bounded event-trace recorder attached to an engine."""
+    """Bounded event-trace recorder attached to an engine.
 
-    def __init__(self, engine: Engine, capacity: int = 10_000) -> None:
+    ``span_source``: optional zero-argument callable returning the
+    currently active distributed-tracing span label (e.g.
+    ``grid.tracer.current_label``); recorded per entry when given.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: int = 10_000,
+        span_source: Optional[Callable[[], str]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.engine = engine
+        self.capacity = capacity
+        self.span_source = span_source
         self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
         self.events_seen = 0
         self._original_step = engine.step
@@ -69,7 +105,10 @@ class Tracer:
         progressed = self._original_step()
         if progressed and upcoming is not None and upcoming.processed:
             kind, label = _describe(upcoming)
-            self.entries.append(TraceEntry(self.engine.now, kind, label))
+            span = self.span_source() if self.span_source is not None else ""
+            self.entries.append(
+                TraceEntry(self.events_seen, self.engine.now, kind, label, span)
+            )
             self.events_seen += 1
         return progressed
 
@@ -80,16 +119,42 @@ class Tracer:
             self._attached = False
 
     # -- queries ----------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Entries lost to the ring bound so far."""
+        return self.events_seen - len(self.entries)
+
     def tail(self, n: int = 20) -> List[TraceEntry]:
-        """The last ``n`` entries."""
-        return list(self.entries)[-n:]
+        """The last ``n`` entries (no full-ring copy)."""
+        count = len(self.entries)
+        return list(islice(self.entries, max(0, count - n), count))
 
     def matching(self, substring: str) -> List[TraceEntry]:
         """Entries whose label contains ``substring``."""
         return [e for e in self.entries if substring in e.label]
 
+    def in_span(self, substring: str) -> List[TraceEntry]:
+        """Entries recorded while a matching span was active."""
+        return [e for e in self.entries if substring in e.span]
+
     def render_tail(self, n: int = 20) -> str:
-        """Human-readable tail, newest last."""
-        return "\n".join(
-            f"{e.time:>14.3f}  {e.kind:<16} {e.label}" for e in self.tail(n)
-        )
+        """Human-readable tail, newest last.
+
+        After wraparound a header line reports how many earlier entries
+        the ring dropped, and each line leads with the entry's absolute
+        sequence number — the render stays stable and honest no matter
+        how far past capacity the run went.
+        """
+        rows = self.tail(n)
+        lines = []
+        if self.dropped and rows:
+            lines.append(
+                f"... {self.dropped} earlier entries dropped by the ring "
+                f"(capacity {self.capacity}) ..."
+            )
+        for e in rows:
+            span = f"  [{e.span}]" if e.span else ""
+            lines.append(
+                f"#{e.seq:<8d} {e.time:>14.3f}  {e.kind:<16} {e.label}{span}"
+            )
+        return "\n".join(lines)

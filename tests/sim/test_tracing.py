@@ -106,3 +106,106 @@ def test_traced_run_matches_untraced():
         return results
 
     assert scenario(False) == scenario(True)
+
+
+def test_entries_carry_stable_sequence_numbers():
+    eng = Engine()
+    tracer = Tracer(eng, capacity=5)
+
+    def tick(i):
+        yield eng.timeout(float(i))
+
+    for i in range(20):
+        eng.process(tick(i))
+    eng.run()
+    seqs = [e.seq for e in tracer.entries]
+    # Consecutive absolute positions ending at the last event processed.
+    assert seqs == list(range(tracer.events_seen - 5, tracer.events_seen))
+    assert tracer.dropped == tracer.events_seen - 5
+
+
+def test_render_tail_reports_ring_drop_after_wraparound():
+    eng = Engine()
+    tracer = Tracer(eng, capacity=4)
+
+    def tick(i):
+        yield eng.timeout(float(i))
+
+    for i in range(12):
+        eng.process(tick(i))
+    eng.run()
+    text = tracer.render_tail(10)
+    first = text.splitlines()[0]
+    assert f"{tracer.dropped} earlier entries dropped" in first
+    assert "capacity 4" in first
+    # Sequence numbers render, making the gap visible.
+    assert f"#{tracer.entries[0].seq}" in text
+
+
+def test_render_tail_has_no_drop_header_before_wraparound():
+    eng = Engine()
+    tracer = Tracer(eng, capacity=100)
+
+    def worker():
+        yield eng.timeout(1.0)
+
+    eng.process(worker(), name="w")
+    eng.run()
+    assert "dropped" not in tracer.render_tail(5)
+
+
+def test_span_source_labels_entries():
+    eng = Engine()
+    active = {"label": ""}
+    tracer = Tracer(eng, span_source=lambda: active["label"])
+
+    def worker():
+        active["label"] = "job-42/compute"
+        yield eng.timeout(2.0)
+        active["label"] = ""
+        yield eng.timeout(1.0)
+
+    eng.process(worker(), name="worker")
+    eng.run()
+    spanned = tracer.in_span("job-42")
+    assert spanned and all(e.span == "job-42/compute" for e in spanned)
+    assert "[job-42/compute]" in tracer.render_tail(10)
+    # Entries outside the span stay unlabelled.
+    assert any(e.span == "" for e in tracer.entries)
+
+
+def test_kernel_tracer_bridges_to_job_tracer():
+    """span_source=JobTracer.current_label ties kernel events to the
+    innermost open job span."""
+    from repro.trace import JobTracer
+
+    eng = Engine()
+    jt = JobTracer(eng)
+    tracer = Tracer(eng, span_source=jt.current_label)
+
+    def lifecycle():
+        root = jt.start_trace("job-7", kind="job")
+        compute = root.child("compute", phase="compute")
+        yield eng.timeout(4.0)
+        compute.finish()
+        jt.finalize(root, "ok")
+        yield eng.timeout(1.0)
+
+    eng.process(lifecycle(), name="lifecycle")
+    eng.run()
+    assert tracer.in_span("compute")
+    assert tracer.entries[-1].span == ""  # trace closed before last event
+
+
+def test_tail_is_a_suffix_view():
+    eng = Engine()
+    tracer = Tracer(eng, capacity=50)
+
+    def tick(i):
+        yield eng.timeout(float(i))
+
+    for i in range(10):
+        eng.process(tick(i))
+    eng.run()
+    assert tracer.tail(3) == list(tracer.entries)[-3:]
+    assert tracer.tail(999) == list(tracer.entries)

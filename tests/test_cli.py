@@ -174,3 +174,48 @@ def test_data_command_disk_scale_applies():
     # Scaled-down disks show up directly in the capacity column:
     # BNL_ATLAS's 8 TB becomes 0.00 TB at this divisor.
     assert "0.00" in text
+
+
+def test_trace_command_table_mode():
+    code, text = run_cli([
+        "trace", "--scale", "800", "--days", "2", "--no-failures",
+        "--apps", "exerciser", "--top", "3",
+    ])
+    assert code == 0
+    assert "slowest" in text and "traced jobs" in text
+    assert "critical phase" in text
+    assert "phase breakdown" in text
+
+
+def test_trace_command_job_id_mode():
+    code, text = run_cli([
+        "trace", "1", "--scale", "800", "--days", "2", "--no-failures",
+        "--apps", "exerciser",
+    ])
+    assert code == 0
+    assert "trace" in text
+    assert "compute" in text  # the span tree shows lifecycle phases
+    # An id the run never produced exits nonzero with a diagnostic.
+    code, text = run_cli([
+        "trace", "999999", "--scale", "800", "--days", "1", "--no-failures",
+        "--apps", "exerciser",
+    ])
+    assert code == 1
+    assert "no trace" in text
+
+
+def test_trace_command_exports(tmp_path):
+    perfetto = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    code, text = run_cli([
+        "trace", "--scale", "800", "--days", "2", "--no-failures",
+        "--apps", "exerciser",
+        "--perfetto", str(perfetto), "--jsonl", str(jsonl),
+    ])
+    assert code == 0
+    assert "wrote" in text
+    import json
+    doc = json.loads(perfetto.read_text())
+    assert doc["traceEvents"]
+    lines = jsonl.read_text().splitlines()
+    assert lines and all(json.loads(l)["trace_id"] for l in lines)

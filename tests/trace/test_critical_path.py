@@ -1,0 +1,165 @@
+"""Critical-path attribution on hand-built span trees, plus exporters."""
+
+import json
+
+from repro.sim import Engine
+from repro.trace import (
+    PHASES,
+    JobTracer,
+    aggregate_breakdown,
+    job_breakdown,
+    render_breakdown,
+    render_span_tree,
+    slowest_traces,
+    span_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+
+def build_job_trace(tracer, vo="uscms", retry=True):
+    """Hand-built trace: optional failed attempt, then a full lifecycle.
+
+    Timeline (seconds):
+      0    submit / trace root opens
+      0-20    attempt-1 fails (when retry=True)
+      20      attempt-2 starts          -> retry = 20
+      20-21   gram.submit
+      21-50   queue                     -> queue = 29
+      50-60   stage-in                  -> stage-in = 10
+      60-160  compute                   -> compute = 100
+      160-185 stage-out                 -> stage-out = 25
+      185-186 register (folds into stage-out -> 26 total)
+      190     trace finalized           -> makespan = 190, other = 5
+    """
+    engine = tracer.engine
+    engine._now = 0.0
+    root = tracer.start_trace("cms-prod-1", kind="job", vo=vo)
+    if retry:
+        a1 = root.child("attempt-1", phase="attempt", site="UFL_Grid3")
+        engine._now = 20.0
+        a1.close_subtree("error")
+    a2 = root.child(f"attempt-{2 if retry else 1}", phase="attempt",
+                    site="FNAL_CMS")
+    sub = a2.child("gram.submit", phase="submit")
+    engine._now = 21.0
+    sub.finish()
+    queue = a2.child("queue", phase="queue")
+    engine._now = 50.0
+    queue.finish()
+    stage_in = a2.child("stage-in", phase="stage-in")
+    engine._now = 60.0
+    stage_in.finish()
+    compute = a2.child("compute", phase="compute")
+    engine._now = 160.0
+    compute.finish()
+    stage_out = a2.child("stage-out", phase="stage-out")
+    engine._now = 185.0
+    stage_out.finish()
+    register = a2.child("register", phase="register")
+    engine._now = 186.0
+    register.finish()
+    a2.finish()
+    engine._now = 190.0
+    tracer.finalize(root, "ok")
+    return root
+
+
+def test_job_breakdown_attributes_every_phase():
+    tracer = JobTracer(Engine())
+    root = build_job_trace(tracer)
+    b = job_breakdown(root)
+    assert b["retry"] == 20.0
+    assert b["queue"] == 29.0
+    assert b["stage-in"] == 10.0
+    assert b["compute"] == 100.0
+    assert b["stage-out"] == 26.0   # register folds in
+    assert b["makespan"] == 190.0
+    assert b["other"] == 190.0 - (20 + 29 + 10 + 100 + 26)
+
+
+def test_breakdown_partition_sums_to_makespan():
+    tracer = JobTracer(Engine())
+    for retry in (False, True):
+        root = build_job_trace(tracer, retry=retry)
+        b = job_breakdown(root)
+        assert abs(sum(b[p] for p in PHASES) - b["makespan"]) < 1e-9
+
+
+def test_breakdown_without_attempts_is_all_other():
+    engine = Engine()
+    tracer = JobTracer(engine)
+    root = tracer.start_trace("never-matched", kind="job", vo="ligo")
+    engine._now = 33.0
+    tracer.finalize(root, "error")
+    b = job_breakdown(root)
+    assert b["other"] == 33.0 and b["makespan"] == 33.0
+
+
+def test_aggregate_breakdown_filters_by_vo():
+    tracer = JobTracer(Engine())
+    build_job_trace(tracer, vo="uscms")
+    build_job_trace(tracer, vo="usatlas")
+    tracer.start_trace("t", kind="transfer")  # non-job: excluded
+    agg_all = aggregate_breakdown(tracer.store.roots())
+    assert agg_all["jobs"] == 2
+    assert agg_all["totals"]["makespan"] == 380.0
+    agg_cms = aggregate_breakdown(tracer.store.roots(), vo="uscms")
+    assert agg_cms["jobs"] == 1
+    assert agg_cms["mean"]["compute"] == 100.0
+    assert abs(sum(agg_cms["share"][p] for p in PHASES) - 1.0) < 1e-9
+
+
+def test_slowest_traces_ranks_and_breaks_ties_deterministically():
+    engine = Engine()
+    tracer = JobTracer(engine)
+    for i, dur in enumerate((50.0, 120.0, 120.0, 10.0)):
+        engine._now = 0.0
+        root = tracer.start_trace(f"job-{i}", kind="job", vo="sdss")
+        engine._now = dur
+        tracer.finalize(root, "ok")
+    ranked = slowest_traces(tracer.store, n=3)
+    assert [r.name for _m, r in ranked] == ["job-1", "job-2", "job-0"]
+    assert ranked[0][0] == 120.0
+
+
+def test_render_helpers_produce_text():
+    tracer = JobTracer(Engine())
+    root = build_job_trace(tracer)
+    tree = render_span_tree(root)
+    assert "cms-prod-1" in tree[0]
+    assert any("compute" in line for line in tree)
+    text = "\n".join(render_breakdown(aggregate_breakdown([root])))
+    assert "phase breakdown" in text and "compute" in text
+
+
+def test_jsonl_export_is_stable_and_parseable():
+    tracer = JobTracer(Engine())
+    root = build_job_trace(tracer)
+    text = to_jsonl([root])
+    lines = [json.loads(line) for line in text.splitlines()]
+    assert len(lines) == len(list(root.walk()))
+    assert lines[0]["name"] == "cms-prod-1"
+    assert all(l["trace_id"] == root.trace_id for l in lines)
+    # Deterministic serialisation.
+    assert text == to_jsonl([root])
+    d = span_to_dict(root)
+    assert d["status"] == "ok" and d["parent_id"] is None
+
+
+def test_chrome_trace_export_shape():
+    tracer = JobTracer(Engine())
+    root = build_job_trace(tracer)
+    doc = to_chrome_trace([root])
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["args"]["name"].startswith("cms-prod-1")
+    assert len(complete) == len(list(root.walk()))
+    compute = next(e for e in complete if e["name"] == "compute")
+    assert compute["ts"] == 60_000_000 and compute["dur"] == 100_000_000
+    assert all(isinstance(e["ts"], int) for e in complete)
+    # Overlapping siblings land on distinct rows; nested spans deeper rows.
+    attempt_rows = {e["tid"] for e in complete if "attempt" in e["name"]}
+    assert len(attempt_rows) >= 1
+    assert json.dumps(doc)  # JSON-safe end to end

@@ -1,0 +1,87 @@
+"""The NetLogger lifeline <-> span bridge (satellite: gridftp lifelines
+inside the owning job's trace instead of a separate report)."""
+
+from repro.middleware.netlogger import (
+    TransferLifeline,
+    compute_statistics,
+    lifelines_to_spans,
+    reconstruct_lifelines,
+    trace_lifelines,
+)
+from repro.sim import Engine
+from repro.trace import JobTracer
+
+
+LIFELINES = [
+    TransferLifeline(host="BNL_ATLAS", lfn="/a/f1", size=1e9,
+                     started_at=10.0, ended_at=30.0, outcome="ok"),
+    TransferLifeline(host="FNAL_CMS", lfn="/a/f2", size=2e9,
+                     started_at=12.0, ended_at=40.0, outcome="error",
+                     error_detail="link down"),
+    TransferLifeline(host="BNL_ATLAS", lfn="/a/f3", size=5e8,
+                     started_at=50.0, ended_at=-1.0, outcome="in-flight"),
+]
+
+
+def test_lifelines_become_backdated_spans_under_a_parent():
+    engine = Engine()
+    engine._now = 100.0
+    tracer = JobTracer(engine)
+    root = tracer.start_trace("job-9", kind="job", vo="usatlas")
+    spans = lifelines_to_spans(LIFELINES, tracer, parent=root)
+    assert len(spans) == 3
+    assert all(s.parent_id == root.span_id for s in spans)
+    ok, err, open_ = spans
+    assert (ok.start, ok.end, ok.status) == (10.0, 30.0, "ok")
+    assert err.status == "error" and err.attrs["error"] == "link down"
+    assert open_.end < 0  # in-flight stays open
+    assert ok.phase == "transfer"
+
+
+def test_lifelines_without_parent_open_their_own_traces():
+    tracer = JobTracer(Engine())
+    spans = lifelines_to_spans(LIFELINES[:2], tracer)
+    assert all(s.parent_id is None for s in spans)
+    assert len(tracer.store) == 2
+
+
+def test_trace_lifelines_round_trip():
+    engine = Engine()
+    tracer = JobTracer(engine)
+    root = tracer.start_trace("job-1", kind="job")
+    lifelines_to_spans(LIFELINES, tracer, parent=root)
+    back = trace_lifelines(root)
+    assert [(l.lfn, l.started_at, l.ended_at, l.outcome) for l in back] \
+        == [(l.lfn, l.started_at, l.ended_at, l.outcome) for l in LIFELINES]
+    # The existing archive analytics run unchanged over the trace view.
+    stats = compute_statistics(back)
+    assert stats.ok == 1 and stats.errors == 1 and stats.in_flight == 1
+
+
+def test_live_gridftp_spans_carry_the_lifeline_view():
+    """End to end: a traced grid run's stage-in/out transfers appear as
+    transfer spans whose lifelines match the servers' NetLogger rings."""
+    from repro import Grid3, Grid3Config
+
+    grid = Grid3(Grid3Config(
+        seed=7, scale=600.0, duration_days=2.0, apps=["exerciser"],
+        tracing=True,
+    ))
+    grid.run_full()
+    # Every terminated transfer span round-trips into an ok/error lifeline.
+    all_lifelines = []
+    for root in grid.tracer.store.roots():
+        all_lifelines.extend(trace_lifelines(root))
+    ring_events = [
+        e for site in grid.sites.values()
+        for e in site.service("gridftp").netlogger
+        if e.event == "transfer.start"
+    ]
+    if ring_events:
+        assert all_lifelines, "servers logged transfers but traces have none"
+    reconstructed = reconstruct_lifelines(
+        e for site in grid.sites.values()
+        for e in site.service("gridftp").netlogger
+    )
+    # Same population size: each ring lifeline has a span counterpart.
+    assert len(all_lifelines) == len(reconstructed)
