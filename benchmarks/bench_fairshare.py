@@ -1,0 +1,66 @@
+"""Fair-share scheduling smoke bench: contention with vs without the
+policy layer, at the contention scenario's pinned seed.
+
+Runs the multi-VO contention scenario twice (same seed, fair-share off
+then on), times both, checks the §5/§7 shape claims — fair-share lowers
+the max/min per-VO completion ratio, share caps hold, policy rejections
+happen — and writes ``BENCH_fairshare.json`` so CI keeps a trajectory
+of both the wall time and the fairness effect.
+"""
+
+import json
+import pathlib
+from collections import Counter
+
+from repro import Grid3, SCENARIOS
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fairshare.json"
+
+
+def run_variant(fair_share: bool):
+    grid = Grid3(SCENARIOS["contention"](seed=42, fair_share=fair_share))
+    grid.run_full()
+    done = Counter(r.vo for r in grid.acdc_db.records() if r.succeeded)
+    ratio = max(done.values()) / max(1, min(done.values())) if done else 0.0
+    out = {
+        "completed_by_vo": dict(sorted(done.items())),
+        "maxmin_ratio": round(ratio, 3),
+        "records": len(grid.acdc_db),
+    }
+    if fair_share:
+        out["policy_rejections"] = sum(r.count for r in grid.policy_report())
+        out["cap_violations"] = len(grid.policy_engine.cap_violations())
+        out["sched_usage_samples"] = len(
+            grid.monitors["sched"].query("sched.fairshare.usage")
+        )
+    return out
+
+
+def test_fairshare_contention_smoke(benchmark):
+    results = {}
+
+    def both():
+        results["off"] = run_variant(False)
+        results["on"] = run_variant(True)
+        return results
+
+    benchmark.pedantic(both, rounds=1, iterations=1)
+    off, on = results["off"], results["on"]
+    print(f"\nfair-share off: {off}")
+    print(f"fair-share on:  {on}")
+
+    # Shape claims the scenario exists to demonstrate.
+    assert on["maxmin_ratio"] < off["maxmin_ratio"]
+    assert on["cap_violations"] == 0
+    assert on["sched_usage_samples"] > 0
+
+    stats = benchmark.stats.stats
+    OUT.write_text(json.dumps({
+        "bench": "fairshare_contention",
+        "scenario": "contention",
+        "seed": 42,
+        "wall_seconds_both_runs": round(stats.mean, 3),
+        "off": off,
+        "on": on,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT.name}")

@@ -29,7 +29,7 @@ def main() -> None:
     grid.deploy()
 
     # Which sites can even run a >30 h OSCAR job?  Criterion 3 in action.
-    from repro.core.job import JobSpec
+    from repro import JobSpec
     oscar_probe = JobSpec(
         name="oscar-probe", vo="uscms", user="cms-user00",
         runtime=35 * HOUR, walltime_request=50 * HOUR, staging="heavy",

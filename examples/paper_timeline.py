@@ -14,8 +14,8 @@ Run:  python examples/paper_timeline.py           (takes ~1 minute)
 import os
 
 from repro import Grid3
-from repro.analysis.compare import agreement_report, compare_run
-from repro.ops.reports import weekly_report
+from repro.analysis import agreement_report, compare_run
+from repro.ops import weekly_report
 from repro.scenarios import paper_timeline
 from repro.sim import DAY
 

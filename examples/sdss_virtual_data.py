@@ -15,8 +15,12 @@ Run:  python examples/sdss_virtual_data.py
 from repro import Grid3, Grid3Config
 from repro.failures import FailureProfile
 from repro.sim import GB, HOUR, MB
-from repro.workflow.chimera import Derivation, Transformation, VirtualDataCatalog
-from repro.workflow.pegasus import PegasusPlanner
+from repro.workflow import (
+    Derivation,
+    PegasusPlanner,
+    Transformation,
+    VirtualDataCatalog,
+)
 
 
 def build_catalog() -> VirtualDataCatalog:

@@ -1,13 +1,27 @@
 """repro: a full-system reproduction of "The Grid2003 Production Grid:
 Principles and Practice" (HPDC 2004) as a discrete-event simulation.
 
-The public API surface:
+This package is the curated public facade — import from ``repro``
+directly::
+
+    from repro import Grid3, Grid3Config, build_scenario, run_experiment
+
+Everything in ``__all__`` below is stable API.  The subpackages remain
+importable for advanced use (one level deep: ``repro.sim``,
+``repro.scheduling``, ...), but docs and examples stick to the facade:
 
 * :class:`Grid3` / :class:`Grid3Config` — build and run the whole grid;
+* :data:`SCENARIOS` / :func:`build_scenario` — canned operating periods;
+* :class:`ExperimentSpec` / :func:`run_experiment` — multi-run studies;
+* :class:`UsagePolicy` / :class:`FairShareLedger` — the §5/§7 multi-VO
+  policy and fair-share scheduling layer;
+* :class:`ReportRecord` — the shared frozen-dataclass result convention
+  every ops query surface returns;
 * :mod:`repro.sim` — the simulation kernel;
 * :mod:`repro.fabric` — sites, clusters, storage, WAN;
 * :mod:`repro.middleware` — GSI, GRAM, GridFTP, RLS, MDS, VOMS, Pacman, SRM;
-* :mod:`repro.scheduling` — PBS/Condor/LSF, Condor-G, DAGMan, matchmaking;
+* :mod:`repro.scheduling` — PBS/Condor/LSF, Condor-G, DAGMan, matchmaking,
+  usage policies, fair-share;
 * :mod:`repro.workflow` — Chimera, Pegasus, MOP, DIAL;
 * :mod:`repro.monitoring` — Ganglia, MonALISA, ACDC, status catalog, MDViewer;
 * :mod:`repro.apps` — the seven application demonstrator classes;
@@ -16,21 +30,40 @@ The public API surface:
 
 from .core.grid3 import APP_CLASSES, EXERCISER_SITES, Grid3, Grid3Config
 from .core.job import Job, JobSpec, JobState
+from .core.results import ReportRecord
 from .core.runner import Grid3Runner
+from .errors import ConfigurationError, GridError
+from .lab import ExperimentSpec, run_experiment, sweep
 from .scenarios import SCENARIOS, build_scenario
+from .scheduling import (
+    FairShareLedger,
+    FairShareStatus,
+    PolicyEngine,
+    UsagePolicy,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "APP_CLASSES",
+    "ConfigurationError",
     "EXERCISER_SITES",
+    "ExperimentSpec",
+    "FairShareLedger",
+    "FairShareStatus",
     "Grid3",
     "Grid3Config",
     "Grid3Runner",
-    "SCENARIOS",
-    "build_scenario",
+    "GridError",
     "Job",
     "JobSpec",
     "JobState",
+    "PolicyEngine",
+    "ReportRecord",
+    "SCENARIOS",
+    "UsagePolicy",
+    "build_scenario",
+    "run_experiment",
+    "sweep",
     "__version__",
 ]

@@ -10,6 +10,7 @@ Subcommands
 ``health``     run and print the per-site, per-service availability table
 ``data``       run with the managed data subsystem, print storage tables
 ``trace``      run with tracing on; render a job's span tree + phase breakdown
+``fairshare``  run with fair-share scheduling, print per-VO share accounting
 
 Examples::
 
@@ -252,9 +253,9 @@ def cmd_trace(args, out=print) -> int:
             out(line)
     else:
         rows = [
-            (r["trace_id"], r["name"], r["vo"], r["status"],
-             f"{r['makespan']:.0f}s", r["critical_phase"],
-             ",".join(str(j) for j in r["job_ids"]) or "-")
+            (r.trace_id, r.name, r.vo, r.status,
+             f"{r.makespan:.0f}s", r.critical_phase,
+             ",".join(str(j) for j in r.job_ids) or "-")
             for r in ops.slowest_jobs(args.top)
         ]
         out(f"slowest {len(rows)} of {len(store)} traced jobs:")
@@ -276,6 +277,75 @@ def cmd_trace(args, out=print) -> int:
     if args.jsonl:
         n = write_jsonl(store, args.jsonl)
         out(f"wrote {n} spans to {args.jsonl}")
+    return 0
+
+
+def cmd_fairshare(args, out=print) -> int:
+    """Run with the fair-share layer and print its accounting; with
+    ``--compare``, run the same seed without it and contrast per-VO
+    completions."""
+    grid = _build_grid(args)
+    grid.config.fair_share = True
+    # Config edits above must land before construction side-effects; the
+    # builder read them in __init__, so rebuild with the final config.
+    grid = Grid3(grid.config)
+    grid.run_full()
+
+    rows = [
+        (r.vo, f"{r.target_share:.0%}", f"{r.observed_share:.0%}",
+         f"{r.decayed_usage / 3600.0:.1f}", f"{r.priority_factor:.2f}",
+         r.charges)
+        for r in grid.fairshare_report()
+    ]
+    out(render_table(
+        ["vo", "target", "observed", "decayed cpu-h", "priority", "charges"],
+        rows,
+    ))
+    rejects = grid.policy_report()
+    if rejects:
+        out("\npolicy rejections (never submitted):")
+        out(render_table(
+            ["site", "vo", "reason", "count"],
+            [(r.site, r.vo, r.reason, r.count) for r in rejects],
+        ))
+    else:
+        out("\nno policy rejections")
+    caps = grid.policy_engine.share_rows()
+    hot = [r for r in caps if r.peak >= r.cap]
+    if hot:
+        out("\nshare slots that ran at their cap:")
+        out(render_table(
+            ["site", "vo", "cap", "peak"],
+            [(r.site, r.vo, r.cap, r.peak) for r in hot],
+        ))
+
+    if args.compare:
+        baseline_cfg = _build_grid(args).config
+        baseline_cfg.fair_share = False
+        baseline = Grid3(baseline_cfg)
+        baseline.run_full()
+
+        def per_vo(g):
+            return {
+                vo: g.condorg[vo].completed
+                for vo in sorted(g.condorg)
+                if g.condorg[vo].submitted
+            }
+
+        def ratio(done):
+            if not done:
+                return 0.0
+            return max(done.values()) / max(1, min(done.values()))
+
+        with_fs, without = per_vo(grid), per_vo(baseline)
+        out("\nsame-seed comparison (completed jobs per VO):")
+        out(render_table(
+            ["vo", "fair-share", "baseline"],
+            [(vo, with_fs.get(vo, 0), without.get(vo, 0))
+             for vo in sorted(set(with_fs) | set(without))],
+        ))
+        out(f"max/min completion ratio: {ratio(with_fs):.2f} with "
+            f"fair-share vs {ratio(without):.2f} without")
     return 0
 
 
@@ -370,6 +440,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--jsonl", metavar="PATH",
                          help="write a JSONL span dump")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_fair = sub.add_parser(
+        "fairshare",
+        help="run with fair-share scheduling; print per-VO shares, "
+             "priorities, and policy rejections",
+    )
+    _add_run_options(p_fair)
+    p_fair.add_argument("--compare", action="store_true",
+                        help="also run the same seed without fair-share "
+                             "and contrast per-VO completions")
+    p_fair.set_defaults(func=cmd_fairshare)
 
     p_score = sub.add_parser(
         "score", help="score a run against the paper's shape claims"

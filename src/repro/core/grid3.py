@@ -22,7 +22,8 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import difflib
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from ..apps import (
@@ -149,6 +150,95 @@ class Grid3Config:
     tracing: bool = False
     #: Retained whole traces before FIFO eviction (bounded SpanStore).
     trace_max_traces: int = 20_000
+    #: §5/§7 multi-VO scheduling: enforce per-site usage policies
+    #: (admission control + per-VO share slots) and fold decayed-usage
+    #: fair-share priorities into matchmaking.  Off by default — a
+    #: same-seed run with it off is byte-identical to a pre-fair-share
+    #: build; policies are still *published* on every site either way.
+    fair_share: bool = False
+    #: Which reconstructed policy set the sites publish: "paper" (the
+    #: §5/§7 reconstruction) or "open" (everything-goes ablation).
+    site_policies: str = "paper"
+    #: Fair-share usage half-life (hours): yesterday's monopolisation
+    #: counts half as much as today's.
+    fair_share_half_life_hours: float = 24.0
+    #: VO -> target share (normalised; None = equal shares).
+    fair_share_targets: Optional[Dict[str, float]] = None
+
+    def validate(self) -> "Grid3Config":
+        """Reject unknown knobs and contradictory settings.
+
+        Called by :class:`Grid3` on construction; raises
+        :class:`~repro.errors.ConfigurationError` with an actionable
+        message rather than letting a typo silently no-op.
+        """
+        from ..errors import ConfigurationError
+        from ..scheduling.policy import POLICY_SETS
+
+        def _suggest(value: str, allowed) -> str:
+            hit = difflib.get_close_matches(str(value), [str(a) for a in allowed], n=1)
+            return f"; did you mean {hit[0]!r}?" if hit else ""
+
+        known = {f.name for f in fields(self)}
+        for name in vars(self):
+            if name not in known:
+                raise ConfigurationError(
+                    f"unknown Grid3Config knob {name!r}"
+                    f"{_suggest(name, sorted(known))}"
+                )
+        for knob, allowed in (
+            ("matchmaking", ("smart", "random")),
+            ("site_policies", tuple(sorted(POLICY_SETS))),
+        ):
+            value = getattr(self, knob)
+            if value not in allowed:
+                raise ConfigurationError(
+                    f"{knob}={value!r} is not one of {allowed}"
+                    f"{_suggest(value, allowed)}"
+                )
+        for knob in ("scale", "duration_days", "disk_scale",
+                     "fair_share_half_life_hours"):
+            value = getattr(self, knob)
+            if not value > 0:
+                raise ConfigurationError(f"{knob} must be positive, got {value!r}")
+        for knob in ("per_site_throttle", "trace_max_traces",
+                     "tier1_dcache_pools"):
+            value = getattr(self, knob)
+            if value < 1:
+                raise ConfigurationError(f"{knob} must be >= 1, got {value!r}")
+        if not 0.0 <= self.misconfig_probability <= 1.0:
+            raise ConfigurationError(
+                "misconfig_probability is a probability; got "
+                f"{self.misconfig_probability!r} (want 0.0-1.0)"
+            )
+        for knob in ("data_high_watermark", "data_low_watermark"):
+            value = getattr(self, knob)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(
+                    f"{knob} is a disk-fill fraction; got {value!r} "
+                    "(want within (0.0, 1.0])"
+                )
+        if self.data_low_watermark > self.data_high_watermark:
+            raise ConfigurationError(
+                f"data_low_watermark={self.data_low_watermark} exceeds "
+                f"data_high_watermark={self.data_high_watermark}: the "
+                "StorageAgent evicts from the high watermark *down to* "
+                "the low one, so low must be <= high"
+            )
+        if self.fair_share_targets:
+            bad = {vo: s for vo, s in self.fair_share_targets.items() if not s > 0}
+            if bad:
+                raise ConfigurationError(
+                    f"fair_share_targets shares must be positive: {bad!r}"
+                )
+        if self.apps:
+            unknown = [a for a in self.apps if a not in APP_CLASSES]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown app(s) {unknown!r}"
+                    f"{_suggest(unknown[0], sorted(APP_CLASSES))}"
+                )
+        return self
 
 
 class Grid3:
@@ -157,7 +247,7 @@ class Grid3:
     def __init__(self, config: Optional[Grid3Config] = None) -> None:
         from .job import reset_job_ids
         reset_job_ids()
-        self.config = config or Grid3Config()
+        self.config = (config or Grid3Config()).validate()
         cfg = self.config
         self.engine = Engine()
         self.rng = RngRegistry(cfg.seed)
@@ -165,6 +255,14 @@ class Grid3:
         self.network = Network(self.engine)
         self.catalog: List[SiteSpec] = scaled_catalog(cfg.scale)
         self.sites = build_sites(self.engine, self.network, self.catalog)
+        # Publish the reconstructed usage policies on every site (§5).
+        # Publication is passive — no RNG, no events — so it leaves
+        # same-seed runs byte-identical; enforcement is gated below on
+        # cfg.fair_share.
+        from ..scheduling.policy import POLICY_SETS
+        self.usage_policies = POLICY_SETS[cfg.site_policies](self.catalog, GRID3_VOS)
+        for site in self.sites.values():
+            site.usage_policy = self.usage_policies.get(site.name)
         # Regional WAN trunks (OC-48-class; uncongested at Grid3 demand,
         # per §6.3's edge-dominated problem reports).
         from ..fabric.topology import wire_backbone
@@ -243,6 +341,9 @@ class Grid3:
         self.monitors: Dict[str, object] = {}
         self.injector: Optional[FailureInjector] = None
         self.ops_team: Optional[OperationsTeam] = None
+        #: Fair-share layer (deploy() builds these when fair_share is on).
+        self.fairshare = None
+        self.policy_engine = None
         self._deployed = False
         self._apps_started = False
 
@@ -349,11 +450,36 @@ class Grid3:
         self.injector = FailureInjector(self.engine, sites, self.rng, cfg.failures)
 
         # Per-VO submit infrastructure.
+        throttle = max(2, int(round(cfg.per_site_throttle / max(1.0, cfg.scale / 50))))
+        if cfg.fair_share:
+            # Fair-share layer (§5/§7): one shared ledger + policy
+            # engine across all VOs' submit hosts, publishing sched.*
+            # metrics into the iGOC estate.
+            from ..monitoring.core import MetricStore
+            from ..scheduling.fairshare import FairShareLedger
+            from ..scheduling.policy import PolicyEngine
+            from ..sim.units import HOUR as _H
+            sched_store = MetricStore(max_samples=200_000)
+            self.fairshare = FairShareLedger(
+                GRID3_VOS,
+                targets=cfg.fair_share_targets,
+                half_life=cfg.fair_share_half_life_hours * _H,
+                store=sched_store,
+            )
+            self.policy_engine = PolicyEngine(
+                self.engine, self.usage_policies,
+                slots_per_site=throttle, store=sched_store,
+            )
+            self.monitors["sched"] = sched_store
+            self.igoc.host("sched", sched_store)
         if cfg.matchmaking == "random":
             self.selector = RandomSelector(self.mds["top"], self.rng)
         else:
-            self.selector = SiteSelector(self.mds["top"], self.rng)
-        throttle = max(2, int(round(cfg.per_site_throttle / max(1.0, cfg.scale / 50))))
+            self.selector = SiteSelector(
+                self.mds["top"], self.rng,
+                fairshare=self.fairshare,
+                clock=(lambda: self.engine.now) if self.fairshare else None,
+            )
         for vo in GRID3_VOS:
             condorg = CondorG(
                 self.engine, f"{vo}-submit", self.sites,
@@ -361,6 +487,8 @@ class Grid3:
                 selector=self.selector,
                 per_site_throttle=throttle,
                 tracer=self.tracer,
+                policy=self.policy_engine,
+                fairshare=self.fairshare,
             )
             self.condorg[vo] = condorg
             self.dagman[vo] = DAGMan(self.engine, condorg, tracer=self.tracer)
@@ -473,6 +601,7 @@ class Grid3:
         return TroubleshootingAPI(
             self.sites, self.acdc_db, data=self.data,
             trace=self.tracer.store,
+            fairshare=self.fairshare, policy=self.policy_engine,
         )
 
     def viewer(self) -> MDViewer:
@@ -502,6 +631,20 @@ class Grid3:
             self.sites.values(), since=since, until=until,
             extra_services=self._central_services(),
         )
+
+    def fairshare_report(self):
+        """Per-VO fair-share rows (:class:`FairShareStatus`); empty when
+        ``fair_share`` is off."""
+        if self.fairshare is None:
+            return []
+        return self.fairshare.report(self.engine.now)
+
+    def policy_report(self):
+        """Policy-rejection rows (:class:`PolicyRejectRow`); empty when
+        ``fair_share`` is off."""
+        if self.policy_engine is None:
+            return []
+        return self.policy_engine.reject_rows()
 
     def total_cpus(self) -> int:
         """CPU slots in this (scaled) grid."""

@@ -1,0 +1,84 @@
+"""The shared result-record convention for every ops query surface.
+
+The §8 lessons ask for "APIs ... providing direct information without
+the necessity of parsing log files".  Early revisions of this repo
+answered each query with an ad-hoc ``dict``, so every caller had to
+know a different shape.  :class:`ReportRecord` is the one convention
+all query surfaces now share:
+
+* results are **frozen dataclasses** — named, typed, hashable fields;
+* ``as_dict()`` returns the plain-dict view (nested records included);
+* ``to_json()`` serialises with **sorted keys**, so equal records
+  produce byte-identical JSON (diffable, cacheable);
+* dict-style access (``row["field"]``, ``"field" in row``, ``.keys()``)
+  still works as a *thin deprecated alias* for the old return shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from typing import Any, Dict, Iterator
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for field values (inf -> string)."""
+    if isinstance(value, float) and (value != value or value in (float("inf"), -float("inf"))):
+        return repr(value)
+    if isinstance(value, BaseException):
+        return type(value).__name__
+    return value
+
+
+class ReportRecord:
+    """Mixin base for frozen result dataclasses.
+
+    Subclasses are ``@dataclass(frozen=True)``; this base supplies the
+    uniform ``as_dict``/``to_json`` surface plus deprecated dict-style
+    access so pre-redesign callers keep working.
+    """
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The record as a plain dict (nested records become dicts)."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+    def to_json(self) -> str:
+        """Sorted-key JSON — equal records serialise identically."""
+        return json.dumps(self.as_dict(), sort_keys=True, default=_jsonable)
+
+    # -- deprecated dict-shape aliases ----------------------------------
+    def _warn(self, how: str) -> None:
+        warnings.warn(
+            f"{how} on {type(self).__name__} is deprecated; use attribute "
+            "access or .as_dict()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> Any:
+        self._warn(f"dict-style access [{key!r}]")
+        return self.as_dict()[key]
+
+    def __contains__(self, key: str) -> bool:
+        self._warn(f"membership test {key!r} in record")
+        return key in self.as_dict()
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn("iteration")
+        return iter(self.as_dict())
+
+    def keys(self):
+        """Deprecated: the old dict shape's keys."""
+        self._warn(".keys()")
+        return self.as_dict().keys()
+
+    def items(self):
+        """Deprecated: the old dict shape's items."""
+        self._warn(".items()")
+        return self.as_dict().items()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Deprecated: the old dict shape's .get()."""
+        self._warn(f".get({key!r})")
+        return self.as_dict().get(key, default)

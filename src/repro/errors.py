@@ -97,3 +97,15 @@ class PackagingError(GridError):
 
 class ReservationError(GridError):
     """SRM space reservation could not be satisfied."""
+
+
+class ConfigurationError(GridError):
+    """A :class:`~repro.core.grid3.Grid3Config` failed validation: an
+    unknown knob, an out-of-range value, or contradictory settings."""
+
+
+class PolicyRejectionError(SubmissionError):
+    """A site's usage policy refused the job at match time (VO not in
+    the allow-list, or the walltime request exceeds the site's runtime
+    class).  Counts toward the site-failure class like any other
+    submission rejection."""

@@ -95,6 +95,11 @@ class Site:
         self.services: Dict[str, object] = {}
         #: Operational status: "online" | "offline" | "degraded".
         self.status = "online"
+        #: Published usage policy (§5): which VOs may run here and at
+        #: what share.  Set by the grid builder from the policy set;
+        #: publication alone is passive — enforcement happens in the
+        #: scheduling layer only when ``Grid3Config.fair_share`` is on.
+        self.usage_policy = None
 
     # -- convenience -----------------------------------------------------
     @property

@@ -22,6 +22,13 @@ from .policy import (
     audit_policy,
     policy_for_site,
 )
+from .results import (
+    DataSummary,
+    GramAccounting,
+    GridFTPAccounting,
+    SlowJobRow,
+    StorageAccounting,
+)
 from .tickets import RESPONSIBILITY_MATRIX, Ticket, TroubleTicketSystem, responsible_party
 from .troubleshooting import (
     JobLink,
@@ -32,6 +39,11 @@ from .troubleshooting import (
 __all__ = [
     "AcceptableUsePolicy",
     "AutoValidator",
+    "DataSummary",
+    "GramAccounting",
+    "GridFTPAccounting",
+    "SlowJobRow",
+    "StorageAccounting",
     "JobLink",
     "JobLinkIndex",
     "TroubleshootingAPI",

@@ -26,6 +26,13 @@ from ..core.job import Job
 from ..scheduling.condorg import CondorG, GridJobHandle
 from ..services import AvailabilityRow, availability_rows, grid_services
 from ..sim.units import HOUR
+from .results import (
+    DataSummary,
+    GramAccounting,
+    GridFTPAccounting,
+    SlowJobRow,
+    StorageAccounting,
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,7 @@ class TroubleshootingAPI:
 
     def __init__(
         self, sites: Dict[str, object], acdc_db, data=None, trace=None,
+        fairshare=None, policy=None,
     ) -> None:
         self.sites = sites
         self.acdc_db = acdc_db
@@ -98,6 +106,10 @@ class TroubleshootingAPI:
         #: Optional SpanStore: trace-backed queries (slowest_jobs,
         #: phase_breakdown, trace_for_job) answer from it.
         self.trace = trace
+        #: Optional FairShareLedger / PolicyEngine: the fair-share and
+        #: policy-rejection queries answer from them.
+        self.fairshare = fairshare
+        self.policy = policy
 
     # -- per-job ------------------------------------------------------------
     def job_timeline(self, job_id: int) -> List[Tuple[float, str]]:
@@ -124,7 +136,7 @@ class TroubleshootingAPI:
             return None
         return self.trace.trace_for_job(job_id)
 
-    def slowest_jobs(self, n: int = 10) -> List[Dict[str, object]]:
+    def slowest_jobs(self, n: int = 10) -> List[SlowJobRow]:
         """The ``n`` longest-makespan job traces, slowest first.
 
         Each row joins the submit-side trace identity to its
@@ -138,19 +150,19 @@ class TroubleshootingAPI:
         rows = []
         for makespan, root in slowest_traces(self.trace, n):
             breakdown = job_breakdown(root)
-            rows.append({
-                "trace_id": root.trace_id,
-                "name": root.name,
-                "vo": root.attrs.get("vo", ""),
-                "status": root.status,
-                "makespan": makespan,
-                "job_ids": self.trace.jobs_for(root.trace_id),
-                "critical_phase": max(
+            rows.append(SlowJobRow(
+                trace_id=root.trace_id,
+                name=root.name,
+                vo=str(root.attrs.get("vo", "")),
+                status=root.status,
+                makespan=makespan,
+                job_ids=tuple(self.trace.jobs_for(root.trace_id)),
+                critical_phase=max(
                     ("queue", "stage-in", "compute", "stage-out", "retry",
                      "other"),
                     key=lambda p: breakdown[p],
                 ),
-            })
+            ))
         return rows
 
     def phase_breakdown(self, vo: Optional[str] = None) -> Dict[str, object]:
@@ -163,58 +175,97 @@ class TroubleshootingAPI:
         return aggregate_breakdown(self.trace.roots(), vo=vo)
 
     # -- GRAM accounting (the §8 ask, no log parsing) -------------------------
-    def gram_accounting(self, site_name: str) -> Dict[str, float]:
-        """Submission/rejection/load counters for one gatekeeper."""
+    def gram_accounting(self, site_name: str) -> Optional[GramAccounting]:
+        """Submission/rejection/load counters for one gatekeeper.
+        None for a site without one."""
         gatekeeper = self.sites[site_name].services.get("gatekeeper")
         if gatekeeper is None:
-            return {}
-        return {
-            "accepted": gatekeeper.submissions_accepted,
-            "rejected": gatekeeper.submissions_rejected,
-            "overload_rejections": gatekeeper.overload_rejections,
-            "current_load": gatekeeper.load(),
-            "peak_load": gatekeeper.peak_load,
-            "managed_jobs": gatekeeper.managed_count,
-        }
+            return None
+        return GramAccounting(
+            site=site_name,
+            accepted=gatekeeper.submissions_accepted,
+            rejected=gatekeeper.submissions_rejected,
+            overload_rejections=gatekeeper.overload_rejections,
+            current_load=gatekeeper.load(),
+            peak_load=gatekeeper.peak_load,
+            managed_jobs=gatekeeper.managed_count,
+        )
 
     # -- GridFTP accounting -----------------------------------------------------
-    def gridftp_accounting(self, site_name: str) -> Dict[str, float]:
-        """Transfer counters for one GridFTP endpoint."""
+    def gridftp_accounting(self, site_name: str) -> Optional[GridFTPAccounting]:
+        """Transfer counters for one GridFTP endpoint.  None for a site
+        without one."""
         server = self.sites[site_name].services.get("gridftp")
         if server is None:
-            return {}
+            return None
         total = server.transfers_ok + server.transfers_failed
-        return {
-            "transfers_ok": server.transfers_ok,
-            "transfers_failed": server.transfers_failed,
-            "failure_rate": server.transfers_failed / total if total else 0.0,
-            "bytes_sent": server.bytes_sent,
-            "bytes_received": server.bytes_received,
-        }
+        return GridFTPAccounting(
+            site=site_name,
+            transfers_ok=server.transfers_ok,
+            transfers_failed=server.transfers_failed,
+            failure_rate=server.transfers_failed / total if total else 0.0,
+            bytes_sent=server.bytes_sent,
+            bytes_received=server.bytes_received,
+        )
 
     # -- storage / data-management accounting ---------------------------------
-    def storage_accounting(self, site_name: str) -> Dict[str, float]:
+    def storage_accounting(self, site_name: str) -> Optional[StorageAccounting]:
         """Occupancy and churn counters for one site's SE — the query
-        the §6.2 "disk filled up" tickets needed answered directly."""
+        the §6.2 "disk filled up" tickets needed answered directly.
+        None for a site without storage."""
         storage = getattr(self.sites[site_name], "storage", None)
         if storage is None:
-            return {}
-        return {
-            "capacity": storage.capacity,
-            "used": storage.used,
-            "utilisation": storage.utilisation,
-            "files": len(storage.files()),
-            "bytes_written": storage.bytes_written,
-            "bytes_deleted": storage.bytes_deleted,
-            "write_failures": storage.write_failures,
-        }
+            return None
+        return StorageAccounting(
+            site=site_name,
+            capacity=storage.capacity,
+            used=storage.used,
+            utilisation=storage.utilisation,
+            files=len(storage.files()),
+            bytes_written=storage.bytes_written,
+            bytes_deleted=storage.bytes_deleted,
+            write_failures=storage.write_failures,
+        )
 
-    def data_summary(self) -> Dict[str, float]:
+    def data_summary(self) -> Optional[DataSummary]:
         """Grid-wide data-management counters (evictions, replications,
-        managed-transfer outcomes).  Empty when the subsystem is off."""
+        managed-transfer outcomes).  None when the subsystem is off."""
         if self.data is None:
-            return {}
-        return self.data.counters()
+            return None
+        return DataSummary(counters=tuple(sorted(self.data.counters().items())))
+
+    # -- fair-share / policy queries ------------------------------------------
+    def fairshare_report(self) -> List:
+        """Per-VO fair-share rows
+        (:class:`~repro.scheduling.fairshare.FairShareStatus`); empty
+        when fair-share scheduling is off."""
+        if self.fairshare is None:
+            return []
+        return self.fairshare.report(self._engine_now())
+
+    def policy_rejects(self) -> List:
+        """Policy-rejection rows
+        (:class:`~repro.scheduling.policy.PolicyRejectRow`); empty when
+        fair-share scheduling is off."""
+        if self.policy is None:
+            return []
+        return self.policy.reject_rows()
+
+    def share_caps(self) -> List:
+        """Peak-vs-cap rows per (site, VO) share slot
+        (:class:`~repro.scheduling.policy.ShareCapRow`); empty when
+        fair-share scheduling is off."""
+        if self.policy is None:
+            return []
+        return self.policy.share_rows()
+
+    def _engine_now(self) -> float:
+        """The simulation clock, recovered from any attached site."""
+        for site in self.sites.values():
+            engine = getattr(site, "engine", None)
+            if engine is not None:
+                return engine.now
+        return 0.0
 
     def pressure_sites(self, threshold: float = 0.85) -> List[Tuple[str, float]]:
         """Sites whose SE occupancy exceeds ``threshold``, worst first —

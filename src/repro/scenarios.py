@@ -14,6 +14,8 @@ capturing one regime the paper describes:
   recommended (returned alongside the config flag).
 * :func:`disk_pressure` — the §6.2 disk-filling regime on shrunken
   disks, with or without the managed data subsystem.
+* :func:`contention` — multi-VO contention on shared facilities, with
+  or without the usage-policy / fair-share scheduling layer.
 """
 
 from __future__ import annotations
@@ -111,6 +113,27 @@ def disk_pressure(seed: int = 42, scale: float = 400.0,
     )
 
 
+def contention(seed: int = 42, scale: float = 400.0,
+               fair_share: bool = True) -> Grid3Config:
+    """Multi-VO contention on shared facilities (§5/§7): three
+    production VOs fight over the same CPU pool with tight per-site
+    submission throttles, so a heavy VO can monopolise the in-flight
+    slots and starve the lighter ones.  ``fair_share=True`` turns on
+    the usage-policy + fair-share layer; run the same seed with
+    ``fair_share=False`` for the starvation baseline it is measured
+    against (compare the max/min per-VO completed-job ratio)."""
+    return Grid3Config(
+        seed=seed,
+        scale=scale,
+        duration_days=7.0,
+        apps=["uscms", "usatlas", "sdss"],
+        per_site_throttle=24,
+        fair_share=fair_share,
+        failures=FailureProfile.calm(),
+        misconfig_probability=0.05,
+    )
+
+
 def paper_timeline(seed: int = 42, scale: float = 50.0) -> Grid3Config:
     """The full Grid3 arc in one run: §6.1's rough October/November
     shake-out transitioning to §7's stable regime mid-December, over the
@@ -131,6 +154,7 @@ SCENARIOS = {
     "chaos-deployment": chaos_deployment,
     "lesson-applied": lesson_applied,
     "disk-pressure": disk_pressure,
+    "contention": contention,
     "paper-timeline": paper_timeline,
 }
 

@@ -1,8 +1,10 @@
-"""Scheduling: local batch systems, Condor-G/DAGMan, site selection."""
+"""Scheduling: local batch systems, Condor-G/DAGMan, site selection,
+usage policies, and grid-wide fair-share."""
 
 from .batch import BatchScheduler, default_runner
 from .condorg import CondorG, GridJobHandle
 from .dagman import DAGMan, DagmanRun
+from .fairshare import DEFAULT_HALF_LIFE, FairShareLedger, FairShareStatus
 from .flavors import (
     FLAVOURS,
     CondorScheduler,
@@ -12,21 +14,40 @@ from .flavors import (
 )
 from .localload import LocalLoadGenerator, add_local_load
 from .matchmaking import RandomSelector, SiteSelector
+from .policy import (
+    POLICY_SETS,
+    PolicyEngine,
+    PolicyRejectRow,
+    ShareCapRow,
+    UsagePolicy,
+    open_policies,
+    paper_policies,
+)
 
 __all__ = [
     "BatchScheduler",
     "CondorG",
     "CondorScheduler",
     "DAGMan",
+    "DEFAULT_HALF_LIFE",
     "DagmanRun",
     "FLAVOURS",
+    "FairShareLedger",
+    "FairShareStatus",
     "GridJobHandle",
     "LSFScheduler",
     "LocalLoadGenerator",
     "PBSScheduler",
+    "POLICY_SETS",
+    "PolicyEngine",
+    "PolicyRejectRow",
     "RandomSelector",
+    "ShareCapRow",
     "SiteSelector",
+    "UsagePolicy",
     "add_local_load",
     "default_runner",
     "make_scheduler",
+    "open_policies",
+    "paper_policies",
 ]

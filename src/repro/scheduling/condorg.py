@@ -63,6 +63,8 @@ class CondorG:
         per_site_throttle: int = 100,
         retry_delay: float = 5 * MINUTE,
         tracer=None,
+        policy=None,
+        fairshare=None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -71,6 +73,15 @@ class CondorG:
         #: Optional SiteSelector; when set, submissions without an
         #: explicit site are matched, and retries move to other sites.
         self.selector = selector
+        #: Optional :class:`~repro.scheduling.policy.PolicyEngine`
+        #: (shared across all VOs' submit hosts).  When set, matches a
+        #: site's usage policy rejects are never submitted, and a
+        #: per-(site, VO) share slot is acquired *before* the per-site
+        #: throttle so over-share VOs queue without starving others.
+        self.policy = policy
+        #: Optional :class:`~repro.scheduling.fairshare.FairShareLedger`;
+        #: charged with each finished job's CPU time.
+        self.fairshare = fairshare
         #: JobTracer (or the shared no-op): one trace per logical job,
         #: rooted here at the submit host.
         self.tracer = tracer or NULL_TRACER
@@ -111,12 +122,30 @@ class CondorG:
         return [self.submit(spec, site_name) for spec in specs]
 
     # -- internals ----------------------------------------------------------
+    def _admits(self, site_name: str, spec: JobSpec) -> bool:
+        """Policy admission check (always true with no policy engine)."""
+        if self.policy is None:
+            return True
+        return self.policy.admits(site_name, spec.vo, spec.walltime_request)
+
     def _pick_site(self, spec: JobSpec, pinned: Optional[str], tried: List[str]) -> Optional[str]:
         if pinned is not None:
-            return pinned if pinned not in tried else None
+            if pinned in tried or not self._admits(pinned, spec):
+                return None
+            return pinned
         if self.selector is not None:
-            return self.selector.select(spec, exclude=tried)
-        remaining = [name for name in self.sites if name not in tried]
+            excluded = list(tried)
+            while True:
+                site_name = self.selector.select(spec, exclude=excluded)
+                if site_name is None or self._admits(site_name, spec):
+                    return site_name
+                # Policy-rejected match: never submitted; re-match
+                # against the remaining sites.
+                excluded.append(site_name)
+        remaining = [
+            name for name in self.sites
+            if name not in tried and self._admits(name, spec)
+        ]
         return remaining[0] if remaining else None
 
     def _manage(self, handle: GridJobHandle, pinned: Optional[str]):
@@ -133,6 +162,14 @@ class CondorG:
             attempt_span = root.child(
                 f"attempt-{handle.attempts}", phase="attempt", site=site_name,
             )
+            # Over-share VOs wait here, before taking a throttle slot,
+            # so other VOs' submissions keep flowing to the site.
+            share = share_slot = None
+            if self.policy is not None:
+                share = self.policy.share_resource(site_name, spec.vo)
+                share_slot = share.request()
+                yield share_slot
+                self.policy.note_start(site_name, spec.vo)
             throttle = self._throttles[site_name]
             slot = throttle.request()
             yield slot
@@ -140,6 +177,9 @@ class CondorG:
                 job = yield from self._submit_with_backoff(site, spec, attempt_span)
             except GridError as exc:
                 throttle.release(slot)
+                if share is not None:
+                    share.release(share_slot)
+                    self.policy.note_finish(site_name, spec.vo)
                 attempt_span.close_subtree("error")
                 attempt_span.annotate(error=type(exc).__name__)
                 # Site unusable right now: try another (or give up).
@@ -153,6 +193,11 @@ class CondorG:
                 self.selector.record_use(spec.vo, spec.user, site_name)
             final = yield job.completion
             throttle.release(slot)
+            if share is not None:
+                share.release(share_slot)
+                self.policy.note_finish(site_name, spec.vo)
+            if self.fairshare is not None:
+                self.fairshare.charge(spec.vo, final.cpu_time, self.engine.now)
             gatekeeper = site.service("gatekeeper")
             gatekeeper.job_finished(final)
             if final.error is not None:

@@ -1,0 +1,158 @@
+"""Grid-wide fair-share accounting across VOs (§5, §7).
+
+Grid3 balanced six VOs on shared facilities; the operational analogue
+is the classic batch-system fair-share: track each VO's recent
+resource consumption with an exponential decay, compare it to the VO's
+target share, and boost under-served VOs / demote over-served ones at
+match time.
+
+:class:`FairShareLedger` holds exponentially-decayed per-VO CPU-time
+usage.  Condor-G charges it when a job completes; the
+:class:`~repro.scheduling.matchmaking.SiteSelector` folds the resulting
+*priority factor* into its scoring so under-served VOs win contended
+slots.  The ledger is pure arithmetic — no RNG, no events — so it can
+be charged from any process without perturbing a stream.
+
+Invariants (property-tested):
+
+* decayed usage is never negative;
+* the priority factor is always within ``[min_factor, max_factor]``;
+* with no charges, every VO's priority factor is exactly 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.results import ReportRecord
+from ..monitoring.core import MetricSample, MetricStore, make_tags
+from ..sim.units import HOUR
+
+#: Default usage half-life: yesterday's monopolisation counts half as
+#: much as today's (typical production batch fair-share setting).
+DEFAULT_HALF_LIFE = 24.0 * HOUR
+
+
+@dataclass(frozen=True)
+class FairShareStatus(ReportRecord):
+    """One VO's row in the fair-share report."""
+
+    vo: str
+    target_share: float
+    decayed_usage: float
+    observed_share: float
+    priority_factor: float
+    charges: int
+
+
+class FairShareLedger:
+    """Exponentially-decayed per-VO usage vs target shares.
+
+    ``targets`` maps VO -> target share; they are normalised to sum to
+    1.0 (equal shares when empty).  ``charge()`` adds consumed CPU
+    seconds; usage decays continuously with half-life ``half_life``, so
+    a VO that stops running regains priority on its own.
+    """
+
+    def __init__(
+        self,
+        vos: Iterable[str],
+        targets: Optional[Dict[str, float]] = None,
+        half_life: float = DEFAULT_HALF_LIFE,
+        min_factor: float = 0.2,
+        max_factor: float = 5.0,
+        store: Optional[MetricStore] = None,
+    ) -> None:
+        self.vos: Tuple[str, ...] = tuple(sorted(vos))
+        if not self.vos:
+            raise ValueError("FairShareLedger needs at least one VO")
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        raw = {vo: float((targets or {}).get(vo, 1.0)) for vo in self.vos}
+        if any(v <= 0 for v in raw.values()):
+            bad = {k: v for k, v in raw.items() if v <= 0}
+            raise ValueError(f"target shares must be positive: {bad}")
+        total = sum(raw.values())
+        self.targets: Dict[str, float] = {vo: raw[vo] / total for vo in self.vos}
+        self.half_life = float(half_life)
+        self._decay_rate = math.log(2.0) / self.half_life
+        self.min_factor = float(min_factor)
+        self.max_factor = float(max_factor)
+        #: ``sched.fairshare.*`` metrics land here.
+        self.store = store if store is not None else MetricStore(max_samples=100_000)
+        self._usage: Dict[str, float] = {vo: 0.0 for vo in self.vos}
+        self._last_update: Dict[str, float] = {vo: 0.0 for vo in self.vos}
+        self._charges: Dict[str, int] = {vo: 0 for vo in self.vos}
+
+    # -- accounting -----------------------------------------------------
+    def _decay_to(self, vo: str, now: float) -> float:
+        """Decay ``vo``'s stored usage forward to ``now`` and return it."""
+        last = self._last_update[vo]
+        if now > last:
+            self._usage[vo] *= math.exp(-self._decay_rate * (now - last))
+            self._last_update[vo] = now
+        # Floating-point decay of a non-negative value stays
+        # non-negative, but clamp so the invariant survives any caller.
+        if self._usage[vo] < 0.0:
+            self._usage[vo] = 0.0
+        return self._usage[vo]
+
+    def charge(self, vo: str, cpu_seconds: float, now: float) -> None:
+        """Charge ``cpu_seconds`` of consumption to ``vo`` at time ``now``."""
+        if vo not in self._usage:
+            return
+        self._decay_to(vo, now)
+        self._usage[vo] += max(0.0, float(cpu_seconds))
+        self._charges[vo] += 1
+        self.store.append(MetricSample(
+            now, "sched.fairshare.usage", self._usage[vo], make_tags(vo=vo),
+        ))
+        self.store.append(MetricSample(
+            now, "sched.fairshare.priority", self.priority_factor(vo, now),
+            make_tags(vo=vo),
+        ))
+
+    def decayed_usage(self, vo: str, now: float) -> float:
+        """``vo``'s usage decayed to ``now`` (never negative)."""
+        if vo not in self._usage:
+            return 0.0
+        return self._decay_to(vo, now)
+
+    def observed_share(self, vo: str, now: float) -> float:
+        """``vo``'s fraction of total decayed usage (its target when the
+        grid is idle, so an idle grid implies factor 1.0 everywhere)."""
+        total = sum(self._decay_to(v, now) for v in self.vos)
+        if total <= 0.0:
+            return self.targets.get(vo, 0.0)
+        return self._decay_to(vo, now) / total
+
+    def priority_factor(self, vo: str, now: float) -> float:
+        """target/observed share ratio, clipped to [min, max].
+
+        > 1 boosts an under-served VO, < 1 demotes an over-served one;
+        exactly 1.0 when usage matches targets (or nothing has run).
+        """
+        target = self.targets.get(vo)
+        if target is None:
+            return 1.0
+        observed = self.observed_share(vo, now)
+        if observed <= 0.0:
+            return self.max_factor
+        return min(self.max_factor, max(self.min_factor, target / observed))
+
+    # -- reports --------------------------------------------------------
+    def report(self, now: float) -> List[FairShareStatus]:
+        """Per-VO fair-share rows (sorted by VO name)."""
+        return [
+            FairShareStatus(
+                vo=vo,
+                target_share=self.targets[vo],
+                decayed_usage=self._decay_to(vo, now),
+                observed_share=self.observed_share(vo, now),
+                priority_factor=self.priority_factor(vo, now),
+                charges=self._charges[vo],
+            )
+            for vo in self.vos
+        ]

@@ -19,7 +19,7 @@ stickiness terms.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.job import JobSpec
 from ..middleware.mds import GIIS
@@ -39,9 +39,17 @@ class SiteSelector:
         free_cpu_weight: float = 2.0,
         jitter: float = 1.0,
         exploration: float = 0.07,
+        fairshare=None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.giis = giis
         self.rng = rng
+        #: Optional :class:`~repro.scheduling.fairshare.FairShareLedger`.
+        #: When set, the free-CPU term is scaled by the submitting VO's
+        #: priority factor: under-served VOs chase free capacity harder,
+        #: over-served VOs fall back on affinity and favourites.
+        self.fairshare = fairshare
+        self.clock = clock
         self.vo_affinity_weight = vo_affinity_weight
         self.favorite_weight = favorite_weight
         self.bandwidth_weight = bandwidth_weight
@@ -92,7 +100,11 @@ class SiteSelector:
         # Data-heavy jobs weigh bandwidth more.
         data_intensity = 1.0 if spec.input_bytes + spec.output_bytes > 1e9 else 0.3
         score = self.bandwidth_weight * bw_term * data_intensity
-        score += self.free_cpu_weight * free_frac
+        free_weight = self.free_cpu_weight
+        if self.fairshare is not None:
+            now = self.clock() if self.clock is not None else 0.0
+            free_weight *= self.fairshare.priority_factor(spec.vo, now)
+        score += free_weight * free_frac
         # §8 "Job Resource Requirements": use published wait estimates
         # when sites provide them (an hour of expected queueing costs a
         # point).

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..core.results import ReportRecord
 from .base import GridService
 
 
@@ -41,7 +42,7 @@ def grid_services(site) -> Dict[str, GridService]:
 
 
 @dataclass(frozen=True)
-class AvailabilityRow:
+class AvailabilityRow(ReportRecord):
     """One (site, role) line of the availability report."""
 
     site: str

@@ -1,0 +1,59 @@
+"""Grid3Config.validate(): typos and contradictions fail loudly."""
+
+import pytest
+
+from repro import ConfigurationError, Grid3, Grid3Config
+
+
+def test_default_config_validates():
+    Grid3Config().validate()
+
+
+def test_unknown_knob_suggests_the_real_one():
+    config = Grid3Config()
+    config.fair_shar = True  # typo'd attribute assignment
+    with pytest.raises(ConfigurationError, match="fair_shar.*fair_share"):
+        config.validate()
+
+
+def test_unknown_matchmaking_value():
+    with pytest.raises(ConfigurationError, match="smartt.*did you mean"):
+        Grid3Config(matchmaking="smartt").validate()
+
+
+def test_unknown_policy_set():
+    with pytest.raises(ConfigurationError, match="site_policies"):
+        Grid3Config(site_policies="strict").validate()
+
+
+def test_contradictory_watermarks():
+    with pytest.raises(ConfigurationError, match="low must be <= high"):
+        Grid3Config(
+            data_low_watermark=0.9, data_high_watermark=0.5
+        ).validate()
+
+
+def test_out_of_range_scalars():
+    with pytest.raises(ConfigurationError, match="scale must be positive"):
+        Grid3Config(scale=0).validate()
+    with pytest.raises(ConfigurationError, match="probability"):
+        Grid3Config(misconfig_probability=1.5).validate()
+    with pytest.raises(ConfigurationError, match="disk-fill fraction"):
+        Grid3Config(data_high_watermark=0.0).validate()
+    with pytest.raises(ConfigurationError, match="per_site_throttle"):
+        Grid3Config(per_site_throttle=0).validate()
+
+
+def test_unknown_app_name():
+    with pytest.raises(ConfigurationError, match="uscmss.*did you mean"):
+        Grid3Config(apps=["uscmss"]).validate()
+
+
+def test_bad_fair_share_targets():
+    with pytest.raises(ConfigurationError, match="positive"):
+        Grid3Config(fair_share_targets={"uscms": 0.0}).validate()
+
+
+def test_grid3_init_validates():
+    with pytest.raises(ConfigurationError):
+        Grid3(Grid3Config(matchmaking="greedy"))

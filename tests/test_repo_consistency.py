@@ -91,6 +91,52 @@ def test_public_api_exports_resolve():
             assert hasattr(module, name), f"repro.{subpackage}.{name}"
 
 
+def _deep_repro_imports(tree: ast.AST):
+    """Yield dotted ``repro.*`` module paths imported at depth >= 3.
+
+    The public surface is the ``repro`` facade plus one subpackage level
+    (``repro.sim``, ``repro.scheduling``, ...); anything deeper is an
+    internal module whose location is not API.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.") and alias.name.count(".") >= 2:
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and module.startswith("repro.") and module.count(".") >= 2:
+                yield module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_uses_public_api_only(path):
+    """Examples demonstrate the facade, not internal module layout."""
+    deep = sorted(set(_deep_repro_imports(ast.parse(path.read_text()))))
+    assert deep == [], (
+        f"{path.name} imports internal modules {deep}; import from the "
+        "repro facade or a top-level subpackage instead"
+    )
+
+
+DOC_SNIPPET_SOURCES = ["README.md", "docs/API.md", "docs/ARCHITECTURE.md"]
+
+
+@pytest.mark.parametrize("doc", DOC_SNIPPET_SOURCES)
+def test_doc_snippets_use_public_api_only(doc):
+    """Fenced code snippets in the docs stick to the public facade."""
+    text = (REPO / doc).read_text()
+    deep = []
+    for block in re.findall(r"```(?:python|py)?\n(.*?)```", text, re.DOTALL):
+        deep += re.findall(
+            r"(?:^|\n)\s*(?:from|import)\s+(repro(?:\.\w+){2,})", block
+        )
+    assert sorted(set(deep)) == [], (
+        f"{doc} code snippets import internal modules {sorted(set(deep))}; "
+        "use the repro facade or a top-level subpackage"
+    )
+
+
 def test_no_direct_available_writes_outside_services():
     """Every availability flip must route through the GridService
     lifecycle (fail/restore), so no outage can bypass the downtime
