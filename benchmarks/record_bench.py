@@ -156,6 +156,17 @@ def bench_sweep(smoke: bool) -> Dict[str, object]:
     t_seq = time.perf_counter() - t0
 
     workers = min(4, os.cpu_count() or 1)
+    if workers <= 1:
+        # Both arms would run the same sequential path; recording their
+        # wall-clock ratio is pure scheduler noise on a 1-core box.
+        return {
+            "cells": len(spec.variants) * spec.repeats,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "sequential_s": round(t_seq, 3),
+            "note": "single-core box: workers clamp to 1; "
+                    "see BENCH_sweep.json for the gated sweep",
+        }
     t0 = time.perf_counter()
     try:
         par = run_experiment(spec, workers=workers)
@@ -172,6 +183,58 @@ def bench_sweep(smoke: bool) -> Dict[str, object]:
         "parallel_s": round(t_par, 3),
         "speedup": round(t_seq / t_par, 2) if t_par else None,
         "identical_results": identical,
+    }
+
+
+def bench_worker_sweep(smoke: bool) -> Dict[str, object]:
+    """Worker-count sweep for ``BENCH_sweep.json``.
+
+    Runs the same spec at workers=1 (the reference), then at each count
+    in {2, N} that fits the core budget (N = available cores), recording
+    wall time, speedup, and an ``identical_results`` flag per count.
+    The pool is warmed before each timed fan-out so the numbers measure
+    steady-state dispatch, not one-time worker spawn (which the
+    persistent pool amortizes across sweeps anyway).  On a single-core
+    box there is nothing to fan out to; only the sequential arm is
+    recorded, with a note.
+    """
+    from repro.lab.experiment import _available_cores, _get_pool
+
+    spec = ExperimentSpec(
+        name="worker-sweep",
+        base=dict(scale=500 if smoke else 200,
+                  duration_days=1 if smoke else 2),
+        variants={"calm": {}, "noisy": dict(failures=FailureProfile.early()),
+                  "wide": dict(scale=350 if smoke else 150)},
+        metrics={"success": _metric_success, "cpu_days": _metric_cpu_days},
+        repeats=2 if smoke else 3,
+    )
+    cores = _available_cores()
+    t0 = time.perf_counter()
+    ref = run_experiment(spec, workers=1)
+    sequential_s = time.perf_counter() - t0
+
+    counts = sorted({n for n in (2, cores) if 1 < n <= cores})
+    runs = []
+    for n in counts:
+        _get_pool(n)  # warm the persistent pool outside the timed region
+        t0 = time.perf_counter()
+        par = run_experiment(spec, workers=n)
+        parallel_s = time.perf_counter() - t0
+        runs.append({
+            "workers": n,
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(sequential_s / parallel_s, 2) if parallel_s else None,
+            "identical_results": par == ref,
+        })
+    return {
+        "cells": len(spec.variants) * spec.repeats,
+        "cores": cores,
+        "sequential_s": round(sequential_s, 3),
+        "runs": runs,
+        "note": ("single-core budget: workers clamp to 1, nothing to sweep"
+                 if not runs else
+                 "pool warmed before each timed arm (steady-state dispatch)"),
     }
 
 
@@ -283,6 +346,8 @@ def main() -> int:
                         help="tracing-overhead output path")
     parser.add_argument("--perfetto-out", default="trace_sample.json",
                         help="sample Perfetto trace from the traced arm")
+    parser.add_argument("--sweep-out", default="BENCH_sweep.json",
+                        help="worker-count sweep output path")
     args = parser.parse_args()
 
     current = {}
@@ -304,6 +369,20 @@ def main() -> int:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    t0 = time.perf_counter()
+    worker_sweep = bench_worker_sweep(args.smoke)
+    print(f"worker_sweep: {worker_sweep} ({time.perf_counter() - t0:.1f}s)",
+          flush=True)
+    with open(args.sweep_out, "w") as fh:
+        json.dump({
+            "generated_by": "benchmarks/record_bench.py",
+            "mode": "smoke" if args.smoke else "full",
+            "python": sys.version.split()[0],
+            "current": worker_sweep,
+        }, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.sweep_out}")
 
     t0 = time.perf_counter()
     transfers = bench_transfers(args.smoke)

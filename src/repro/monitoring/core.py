@@ -80,7 +80,7 @@ class _Series:
 
     __slots__ = (
         "samples", "times", "start", "abs0", "maxlen", "in_order",
-        "indexed", "postings", "last_time",
+        "indexed", "postings", "last_time", "rev",
     )
 
     #: Compact the dead prefix when it exceeds this many slots *and*
@@ -97,12 +97,16 @@ class _Series:
         self.indexed = False
         self.postings: Dict[Tuple[str, str], list] = {}
         self.last_time = -float("inf")
+        #: Bumped on every live-window mutation; lets callers cache
+        #: derived columns (see MetricStore.series) without staleness.
+        self.rev = 0
 
     def __len__(self) -> int:
         return len(self.samples) - self.start
 
     def append(self, sample: MetricSample) -> int:
         """Add one sample; returns the net change in live count (0/1)."""
+        self.rev += 1
         samples = self.samples
         time = sample.time
         if time < self.last_time:
@@ -213,6 +217,8 @@ class MetricStore:
         self._samples: Dict[str, _Series] = {}
         self.max_samples = max_samples
         self._count = 0
+        #: name -> (series rev, times, values) column cache.
+        self._col_cache: Dict[str, Tuple[int, np.ndarray, np.ndarray]] = {}
 
     def append(self, sample: MetricSample) -> None:
         """Record one sample."""
@@ -302,17 +308,74 @@ class MetricStore:
         """Columnar (times, values) float64 arrays for ``name``.
 
         The cheap bulk accessor for :mod:`repro.analysis` aggregations —
-        no per-sample Python objects cross the boundary.
+        no per-sample Python objects cross the boundary.  The arrays are
+        cached per series and invalidated by the series' revision
+        counter, so repeated aggregation passes over a quiescent store
+        (the common end-of-run report shape) build the columns once.
+        Treat the returned arrays as read-only — they are shared.
         """
         ser = self._samples.get(name)
         if ser is None or not len(ser):
             return np.empty(0, dtype=float), np.empty(0, dtype=float)
+        cached = self._col_cache.get(name)
+        if cached is not None and cached[0] == ser.rev:
+            return cached[1], cached[2]
         start = ser.start
         n = len(ser.samples) - start
         live = ser.samples[start:]
         times = np.fromiter((s.time for s in live), dtype=float, count=n)
         values = np.fromiter((s.value for s in live), dtype=float, count=n)
+        self._col_cache[name] = (ser.rev, times, values)
         return times, values
+
+    def series_window(
+        self,
+        name: str,
+        since: float = -float("inf"),
+        until: float = float("inf"),
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columnar (times, values) restricted to ``[since, until]``.
+
+        Vectorized: a ``searchsorted`` slice of the cached columns when
+        the series is time-ordered (every simulation producer is), a
+        boolean mask otherwise — never a per-sample Python loop.
+        """
+        times, values = self.series(name)
+        if not len(times):
+            return times, values
+        ser = self._samples.get(name)
+        if ser is not None and not ser.in_order:
+            mask = (times >= since) & (times <= until)
+            return times[mask], values[mask]
+        lo = int(np.searchsorted(times, since, side="left"))
+        hi = int(np.searchsorted(times, until, side="right"))
+        return times[lo:hi], values[lo:hi]
+
+    def window_stats(
+        self,
+        name: str,
+        since: float = -float("inf"),
+        until: float = float("inf"),
+    ) -> Dict[str, float]:
+        """Vectorized reductions over one time window.
+
+        Returns ``{"count", "sum", "mean", "min", "max"}`` (NaNs for
+        the empty window, except count/sum) in one pass over the cached
+        columns — the building block for windowed dashboards that used
+        to re-query per statistic.
+        """
+        _times, values = self.series_window(name, since, until)
+        if not len(values):
+            return {"count": 0.0, "sum": 0.0,
+                    "mean": float("nan"), "min": float("nan"),
+                    "max": float("nan")}
+        return {
+            "count": float(len(values)),
+            "sum": float(values.sum()),
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+        }
 
     def __len__(self) -> int:
         return self._count

@@ -1,10 +1,10 @@
 """The discrete-event simulation core.
 
-This is a classic event-heap + generator-process kernel, written from
-scratch for this reproduction (the project depends only on numpy /
-networkx).  The design mirrors the well-known process-interaction style:
+This is a calendar + generator-process kernel, written from scratch for
+this reproduction (the project depends only on numpy / networkx).  The
+design mirrors the well-known process-interaction style:
 
-* :class:`Engine` owns the clock and the pending-event heap.
+* :class:`Engine` owns the clock and the pending-event calendar.
 * :class:`Event` is a one-shot occurrence that processes can wait on.
 * :class:`Process` wraps a Python generator; every value the generator
   yields must be an :class:`Event`, and the process resumes when that
@@ -12,39 +12,52 @@ networkx).  The design mirrors the well-known process-interaction style:
   exception thrown into it).
 * :class:`AllOf` / :class:`AnyOf` compose events.
 
-Determinism: events scheduled for the same instant fire in (priority,
-insertion-order) order, so repeated runs with the same seeds are
-bit-identical.
+Pending work lives in two structures (see :mod:`repro.sim.timewheel`):
+
+* an **urgent FIFO** of triggered events (``succeed``/``fail``,
+  interrupts, process initialisation) — these are always scheduled for
+  the *current* instant, so a plain deque preserves both time order and
+  insertion order with no keys at all;
+* a **time wheel** of exact-time buckets for scheduled occurrences
+  (timeouts) — same-instant events share one bucket in insertion
+  order, and the engine batch-dispatches a whole bucket per clock
+  store.
+
+Determinism: urgent entries fire before bucket entries at the same
+instant, and each lane preserves insertion order, which reproduces the
+classic ``(time, priority, insertion-seq)`` heap order exactly — so
+repeated runs with the same seeds are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import sys
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
-#: Heap priority for "process a triggered event now" entries — these must
-#: run before ordinary timeouts scheduled at the same instant.
+from collections import deque
+
+from .timewheel import TimeWheel
+
+#: Priority for "process a triggered event now" entries — these must
+#: run before ordinary timeouts scheduled at the same instant.  Kept as
+#: the public vocabulary for :meth:`Engine._push`.
 URGENT = 0
-#: Heap priority for ordinary scheduled occurrences.
+#: Priority for ordinary scheduled occurrences.
 NORMAL = 1
-
-#: Heap entries are (time, key, event) 3-tuples where
-#: ``key = priority * _PRIO_BASE + seq`` — priority dominates, insertion
-#: order breaks ties, and the tuple stays one slot smaller than the
-#: naive (time, priority, seq, event) layout on the hottest path.
-_PRIO_BASE = 1 << 52
-_NORMAL_BASE = NORMAL * _PRIO_BASE
 
 PENDING = object()
 
 #: CPython exposes refcounts, which lets the run loop prove a popped
 #: Timeout is unreachable from user code and recycle it.  On other
-#: implementations the pool simply stays empty.
-_getrefcount = getattr(sys, "getrefcount", None)
+#: implementations the pool simply stays empty (0 never matches a real
+#: refcount test).
+_getrefcount = getattr(sys, "getrefcount", None) or (lambda _obj: 0)
 
 #: Upper bound on recycled Timeout objects kept per engine.
 _POOL_CAP = 1024
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -112,7 +125,8 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine._schedule_event(self)
+        engine = self.engine
+        engine._urgent.append((engine._now, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -123,7 +137,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.engine._schedule_event(self)
+        engine = self.engine
+        engine._urgent.append((engine._now, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -155,7 +170,8 @@ class Timeout(Event):
 
     This is the kernel's dominant allocation (every sleep, queue poll,
     and monitoring tick is one), so construction is inlined: no
-    ``super().__init__`` / ``_push`` call chain, one direct heappush.
+    ``super().__init__`` chain, one direct bucket insert into the
+    engine's time wheel.
     """
 
     __slots__ = ("delay",)
@@ -170,8 +186,14 @@ class Timeout(Event):
         self._processed = False
         self._defused = False
         self.delay = delay
-        engine._seq = seq = engine._seq + 1
-        heapq.heappush(engine._heap, (engine._now + delay, seq + _NORMAL_BASE, self))
+        wheel = engine._wheel
+        time = engine._now + delay
+        bucket = wheel.buckets.get(time)
+        if bucket is None:
+            wheel.buckets[time] = [self]
+            heapq.heappush(wheel.times, time)
+        else:
+            bucket.append(self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -189,8 +211,7 @@ class Initialize(Event):
         self._ok = True
         self._processed = False
         self._defused = False
-        engine._seq = seq = engine._seq + 1
-        heapq.heappush(engine._heap, (engine._now, seq, self))
+        engine._urgent.append((engine._now, self))
 
 
 class Process(Event):
@@ -363,62 +384,77 @@ class AnyOf(ConditionEvent):
 
 
 class Engine:
-    """The simulation engine: clock plus pending-event heap."""
+    """The simulation engine: clock, urgent FIFO, and time wheel.
+
+    Invariants the two lanes maintain (see module docstring):
+
+    * every urgent entry is scheduled for the instant it was pushed, so
+      the deque is monotone in time and always due no later than any
+      wheel bucket;
+    * wheel buckets hold scheduled occurrences (timeouts) in insertion
+      order; the bucket currently being dispatched is detached, so
+      same-instant events scheduled *during* dispatch land in a fresh
+      bucket behind it.
+    """
 
     # Slots for the per-event-hot attributes; __dict__ stays so the
     # instance-bound timeout() closure and external instrumentation
     # (e.g. Tracer patching step) keep working.
     __slots__ = (
-        "_now", "_heap", "_seq", "_active_process", "_timeout_pool",
-        "_pool1", "__dict__", "__weakref__",
+        "_now", "_urgent", "_wheel", "_bucket", "_bucket_i", "_bucket_time",
+        "_active_process", "_timeout_pool", "__dict__", "__weakref__",
     )
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List = []
-        self._seq = 0
+        self._urgent: Deque = deque()
+        self._wheel = TimeWheel()
+        #: The bucket currently being consumed by step()/run(), with the
+        #: index of the next un-dispatched entry and the bucket's
+        #: instant.  run() claims whole buckets; step() walks them one
+        #: entry at a time; both leave a partially consumed bucket here
+        #: so the other can pick up exactly where it stopped.
+        self._bucket: List = []
+        self._bucket_i = 0
+        self._bucket_time = 0.0
         self._active_process: Optional[Process] = None
-        #: Recycled Timeout objects: a single-slot L1 (the common
-        #: recycle-then-create-next-tick rhythm alternates through it)
-        #: plus an overflow list (see :meth:`run`).
-        self._pool1: Optional[Timeout] = None
+        #: Recycled Timeout objects (see :meth:`run`), kept pre-reset:
+        #: empty attached callbacks list, _ok True, not processed.
         self._timeout_pool: List[Timeout] = []
 
         # timeout() is the kernel's hottest factory (every sleep, queue
         # poll, and monitoring tick), so each engine binds a closure
-        # with the heap and pool preloaded into cells; the instance
+        # with the wheel and pool preloaded into cells; the instance
         # attribute shadows the plain method below.
-        heap = self._heap
+        wheel = self._wheel
+        buckets = wheel.buckets
+        btimes = wheel.times
         pool = self._timeout_pool
 
         def timeout(
             delay: float,
             value: Any = None,
             _push=heapq.heappush,
-            _nbase=_NORMAL_BASE,
+            _bget=buckets.get,
+            _pop=pool.pop,
             _new=Timeout,
             _engine=self,
         ) -> "Timeout":
             # Pooled timeouts come back pre-reset (empty callbacks
             # list, _ok True, not processed) — see run().
-            t = _engine._pool1
-            if t is not None:
-                if delay < 0:
-                    raise ValueError(f"negative timeout delay {delay!r}")
-                _engine._pool1 = None
-                t._value = value
-                t.delay = delay
-                _engine._seq = seq = _engine._seq + 1
-                _push(heap, (_engine._now + delay, seq + _nbase, t))
-                return t
             if pool:
                 if delay < 0:
                     raise ValueError(f"negative timeout delay {delay!r}")
-                t = pool.pop()
+                t = _pop()
                 t._value = value
                 t.delay = delay
-                _engine._seq = seq = _engine._seq + 1
-                _push(heap, (_engine._now + delay, seq + _nbase, t))
+                time = _engine._now + delay
+                bucket = _bget(time)
+                if bucket is None:
+                    buckets[time] = [t]
+                    _push(btimes, time)
+                else:
+                    bucket.append(t)
                 return t
             return _new(_engine, delay, value)
 
@@ -450,18 +486,14 @@ class Engine:
         ``__init__``.  This definition keeps the API discoverable and
         serves subclasses that override ``__init__``.)
         """
-        t = self._pool1
-        if t is None and self._timeout_pool:
-            t = self._timeout_pool.pop()
-        elif t is not None:
-            self._pool1 = None
-        if t is not None:
+        pool = self._timeout_pool
+        if pool:
             if delay < 0:
                 raise ValueError(f"negative timeout delay {delay!r}")
+            t = pool.pop()
             t._value = value
             t.delay = delay
-            self._seq = seq = self._seq + 1
-            heapq.heappush(self._heap, (self._now + delay, seq + _NORMAL_BASE, t))
+            self._wheel.schedule(self._now + delay, t)
             return t
         return Timeout(self, delay, value)
 
@@ -479,175 +511,312 @@ class Engine:
 
     # -- scheduling internals -------------------------------------------------
     def _push(self, time: float, priority: int, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority * _PRIO_BASE + self._seq, event))
+        """Queue ``event``.  URGENT entries must be scheduled for the
+        current instant (every internal caller does); NORMAL entries go
+        to the wheel at any future time."""
+        if priority == URGENT:
+            self._urgent.append((time, event))
+        else:
+            self._wheel.schedule(time, event)
 
     def _schedule_event(self, event: Event) -> None:
         """Queue a just-triggered event's callback processing."""
-        self._push(self._now, URGENT, event)
+        self._urgent.append((self._now, event))
 
     # -- execution --------------------------------------------------------------
     def step(self) -> bool:
-        """Process one event.  Returns False if the heap is empty."""
-        if not self._heap:
-            return False
-        time, _key, event = heapq.heappop(self._heap)
-        if time < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = time
+        """Process one event.  Returns False if nothing is pending.
+
+        Dispatch order: the urgent FIFO first (always due at or before
+        the current instant), then the partially consumed active bucket,
+        then the wheel's next bucket.
+        """
+        urgent = self._urgent
+        if urgent:
+            time, event = urgent.popleft()
+            self._now = time
+            if event._value is PENDING:
+                # A cancelled entry: it stores its outcome eagerly, so
+                # PENDING here means nothing to deliver.
+                return True
+            event._process()
+            return True
+        bucket = self._bucket
+        i = self._bucket_i
+        if i >= len(bucket):
+            wheel = self._wheel
+            if not wheel.times:
+                return False
+            time, bucket = wheel.pop()
+            if time < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._bucket = bucket
+            self._bucket_time = time
+            self._now = time
+            i = 0
+        event = bucket[i]
+        self._bucket_i = i + 1
         if event._value is PENDING:
-            # A Timeout-like entry reaching its due time: it stores its
-            # outcome eagerly, so PENDING here means a cancelled entry.
             return True
         event._process()
         return True
 
     def peek(self) -> float:
         """Time of the next pending event, or ``float('inf')``."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._urgent:
+            return self._urgent[0][0]
+        if self._bucket_i < len(self._bucket):
+            return self._bucket_time
+        return self._wheel.peek()
+
+    def peek_event(self) -> Optional[Event]:
+        """The next event :meth:`step` would dispatch, or ``None``.
+
+        Used by instrumentation (e.g. the Tracer) that wants to
+        describe the upcoming event before it runs.
+        """
+        if self._urgent:
+            return self._urgent[0][1]
+        if self._bucket_i < len(self._bucket):
+            return self._bucket[self._bucket_i]
+        wheel = self._wheel
+        if wheel.times:
+            return wheel.buckets[wheel.times[0]][0]
+        return None
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap empties or the clock reaches ``until``.
+        """Run until nothing is pending or the clock reaches ``until``.
 
         When ``until`` is given the clock is advanced to exactly that
         time even if no event falls on it.
 
-        This is the kernel's hottest loop, so :meth:`step` and
-        :meth:`Event._process` are inlined here: one heappop, one clock
-        store, and the callback sweep per event, with heap/pool bound to
-        locals.  After an event's callbacks have run, a Timeout whose
-        refcount proves nothing else can ever observe it again is
-        recycled into the engine pool (CPython only; elsewhere the pool
-        stays empty and behavior is identical).
+        This is the kernel's hottest loop, so dispatch is inlined: the
+        urgent FIFO drains first, then whole wheel buckets are claimed
+        and batch-dispatched (one clock store per distinct instant).
+        The dominant pattern — a single parked process sleeping on a
+        Timeout that nothing else references — takes a *lean* path: the
+        refcount proves no user code can ever observe the Timeout
+        again, so the processed-state flips are skipped entirely and
+        the object goes straight back to the engine pool (CPython only;
+        elsewhere the pool stays empty and behavior is identical).
+
+        Note: while a bucket is being batch-dispatched, :meth:`peek` /
+        :meth:`peek_event` (called from inside an event callback) report
+        the bucket's own instant rather than looking past it.
         """
         if "step" in self.__dict__:
             # step() has been instance-patched (e.g. by a Tracer): take
             # the slow path so the instrumentation sees every event.
             return self._run_stepped(until)
         if until is None:
-            limit = float("inf")
+            limit = _INF
         else:
             if until < self._now:
                 raise ValueError(f"until={until} is in the past (now={self._now})")
             limit = until
-        heap = self._heap
+        urgent = self._urgent
+        upop = urgent.popleft
+        wheel = self._wheel
+        buckets = wheel.buckets
+        btimes = wheel.times
         pop = heapq.heappop
         pool = self._timeout_pool
+        padd = pool.append
         getref = _getrefcount
         pending = PENDING
         timeout_cls = Timeout
         process_cls = Process
         pool_cap = _POOL_CAP
-        while heap:
-            time, _key, event = pop(heap)
-            if time > limit:
-                # Past the horizon: put the entry back (at most once per
-                # run() call) and stop.
-                heapq.heappush(heap, (time, _key, event))
-                break
-            self._now = time
-            callbacks = event.callbacks
-            event.callbacks = None
-            event._processed = True
-            if event.__class__ is timeout_cls and len(callbacks) == 1:
-                # The dominant pattern: one waiter sleeping on a
-                # timeout.  Timeouts are born succeeded (no _ok/_defused
-                # checks needed) and are pool candidates afterwards.
-                cb = callbacks[0]
-                if cb.__class__ is process_cls:
-                    # A parked process: it is alive, waiting on exactly
-                    # this event.  Drive its generator right here — no
-                    # _resume frame, no detach bookkeeping.
-                    self._active_process = cb
-                    try:
-                        next_event = cb._gen_send(event._value)
-                    except StopIteration as stop:
-                        self._active_process = None
-                        cb._target = None
-                        cb.succeed(stop.value)
-                    except BaseException as exc:  # noqa: BLE001
-                        self._active_process = None
-                        cb._target = None
-                        cb.fail(exc)
-                    else:
-                        self._active_process = None
-                        if next_event.__class__ is timeout_cls:
-                            ncbs = next_event.callbacks
-                            if ncbs is not None:
-                                # Park on the fresh timeout.
-                                ncbs.append(cb)
-                                cb._target = next_event
-                            else:
-                                # Already-processed timeout: continue
-                                # inline through the generic path.
-                                cb._target = None
-                                cb._resume(next_event)
-                        elif isinstance(next_event, Event):
-                            ncbs = next_event.callbacks
-                            if ncbs is not None:
-                                ncbs.append(cb)
-                                cb._target = next_event
-                            else:
-                                cb._target = None
-                                cb._resume(next_event)
-                        else:
-                            cb._target = None
-                            cb.fail(TypeError(
-                                f"process {cb.name!r} yielded non-event "
-                                f"{next_event!r}"
-                            ))
+        _len = len
+        # Urgent entries were pushed at the instant the clock already
+        # shows (now only advances at bucket acquisition, which requires
+        # the FIFO to be empty), so the drains below never store _now.
+        try:
+            while True:
+                # Urgent entries are always due now (<= any bucket).
+                while urgent:
+                    _t, event = upop()
+                    if event._value is pending:
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks or ():
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise SimulationError(
+                            f"unhandled failure in {event!r}: {event._value!r}"
+                        ) from event._value
+                # Claim the next bucket: first any bucket step() left
+                # partially consumed, then the wheel's earliest.
+                i = self._bucket_i
+                bucket = self._bucket
+                if i < len(bucket):
+                    if i:
+                        bucket = bucket[i:]
+                        self._bucket = bucket
+                        self._bucket_i = 0
+                    # Its instant is the current clock (step() set it),
+                    # so it is within any valid ``until``.
+                elif btimes:
+                    time = btimes[0]
+                    if time > limit:
+                        break
+                    pop(btimes)
+                    bucket = buckets.pop(time)
+                    self._now = time
+                    self._bucket = bucket
+                    self._bucket_time = time
+                    self._bucket_i = 0
                 else:
-                    cb(event)
-                if getref is not None and getref(event) == 2:
-                    # Two references: the ``event`` local and
-                    # getrefcount's argument.  Anything user-visible
-                    # would add a third.  Reset in place (reusing the
-                    # detached callbacks list) so timeout()'s pooled
-                    # path is a few stores.
-                    callbacks.clear()
-                    event.callbacks = callbacks
-                    event._processed = False
-                    if self._pool1 is None:
-                        self._pool1 = event
-                    elif len(pool) < pool_cap:
-                        pool.append(event)
-                continue
-            if event._value is pending:
-                # A cancelled entry (see :meth:`step`).
-                event.callbacks = callbacks
-                event._processed = False
-                continue
-            for callback in callbacks or ():
-                callback(event)
-            if event._ok is False and not event._defused:
-                raise SimulationError(
-                    f"unhandled failure in {event!r}: {event._value!r}"
-                ) from event._value
-            if (
-                event.__class__ is timeout_cls
-                and getref is not None
-                and getref(event) == 2
-            ):
-                callbacks.clear()
-                event.callbacks = callbacks
-                event._processed = False
-                if self._pool1 is None:
-                    self._pool1 = event
-                elif len(pool) < pool_cap:
-                    pool.append(event)
+                    break
+                try:
+                    for ev in bucket:
+                        cbs = ev.callbacks
+                        if ev.__class__ is timeout_cls and _len(cbs) == 1:
+                            cb = cbs[0]
+                            if cb.__class__ is process_cls and getref(ev) == 4:
+                                # The dominant pattern, lean path.  The
+                                # four references are exactly: this
+                                # bucket, the ``ev`` local, the parked
+                                # process's _target, and getrefcount's
+                                # argument — so no user code can ever
+                                # observe ``ev`` again and the
+                                # processed-state flips are skipped.
+                                # Timeouts are born succeeded (no
+                                # _ok/_defused checks needed).
+                                self._active_process = cb
+                                try:
+                                    nxt = cb._gen_send(ev._value)
+                                except StopIteration as stop:
+                                    ev.callbacks = None
+                                    ev._processed = True
+                                    cb._target = None
+                                    cb.succeed(stop.value)
+                                except BaseException as exc:  # noqa: BLE001
+                                    ev.callbacks = None
+                                    ev._processed = True
+                                    cb._target = None
+                                    cb.fail(exc)
+                                else:
+                                    if nxt.__class__ is timeout_cls:
+                                        ncbs = nxt.callbacks
+                                        if ncbs is not None:
+                                            # Park on the fresh timeout
+                                            # and recycle this one:
+                                            # detaching cb leaves it
+                                            # pre-reset already.  The
+                                            # pool cap is enforced per
+                                            # bucket, not per event.
+                                            ncbs.append(cb)
+                                            cb._target = nxt
+                                            cbs.pop()
+                                            padd(ev)
+                                        else:
+                                            ev.callbacks = None
+                                            ev._processed = True
+                                            cb._target = None
+                                            cb._resume(nxt)
+                                    elif isinstance(nxt, Event):
+                                        ncbs = nxt.callbacks
+                                        if ncbs is not None:
+                                            ncbs.append(cb)
+                                            cb._target = nxt
+                                            cbs.pop()
+                                            padd(ev)
+                                        else:
+                                            ev.callbacks = None
+                                            ev._processed = True
+                                            cb._target = None
+                                            cb._resume(nxt)
+                                    else:
+                                        ev.callbacks = None
+                                        ev._processed = True
+                                        cb._target = None
+                                        cb.fail(TypeError(
+                                            f"process {cb.name!r} yielded "
+                                            f"non-event {nxt!r}"
+                                        ))
+                                # Events triggered by this dispatch
+                                # fire before later bucket entries.
+                                while urgent:
+                                    _t, event = upop()
+                                    if event._value is pending:
+                                        continue
+                                    callbacks = event.callbacks
+                                    event.callbacks = None
+                                    event._processed = True
+                                    for callback in callbacks or ():
+                                        callback(event)
+                                    if event._ok is False and not event._defused:
+                                        raise SimulationError(
+                                            f"unhandled failure in {event!r}: "
+                                            f"{event._value!r}"
+                                        ) from event._value
+                                continue
+                        # Generic path: cancelled entries, multi-callback
+                        # events, user-held timeouts.
+                        if ev._value is pending:
+                            continue
+                        ev.callbacks = None
+                        ev._processed = True
+                        for callback in cbs or ():
+                            callback(ev)
+                        if ev._ok is False and not ev._defused:
+                            raise SimulationError(
+                                f"unhandled failure in {ev!r}: {ev._value!r}"
+                            ) from ev._value
+                        if (
+                            ev.__class__ is timeout_cls
+                            and getref(ev) == 3
+                        ):
+                            # Only this bucket, the local, and the
+                            # getrefcount argument hold it: recycle.
+                            cbs.clear()
+                            ev.callbacks = cbs
+                            ev._processed = False
+                            if len(pool) < pool_cap:
+                                pool.append(ev)
+                        while urgent:
+                            _t, event = upop()
+                            if event._value is pending:
+                                continue
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            event._processed = True
+                            for callback in callbacks or ():
+                                callback(event)
+                            if event._ok is False and not event._defused:
+                                raise SimulationError(
+                                    f"unhandled failure in {event!r}: "
+                                    f"{event._value!r}"
+                                ) from event._value
+                except BaseException:
+                    # Leave the un-dispatched remainder claimable by a
+                    # later run()/step().  ``ev`` is the entry whose
+                    # dispatch raised; objects appear in a bucket at
+                    # most once, so index() is unambiguous.
+                    self._bucket_i = bucket.index(ev) + 1
+                    raise
+                self._bucket_i = len(bucket)
+                if len(pool) > pool_cap:
+                    del pool[pool_cap:]
+        finally:
+            self._active_process = None
         if until is not None:
             self._now = max(self._now, until)
 
     def _run_stepped(self, until: Optional[float] = None) -> None:
-        """The pre-inlining run loop, one ``self.step()`` call per event."""
+        """The un-inlined run loop, one ``self.step()`` call per event."""
         if until is None:
             while self.step():
                 pass
             return
         if until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        while self.peek() <= until:
+            if not self.step():
+                break
         self._now = max(self._now, until)
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

@@ -100,8 +100,7 @@ class Tracer:
         self._attached = True
 
     def _traced_step(self) -> bool:
-        heap = self.engine._heap
-        upcoming = heap[0][-1] if heap else None
+        upcoming = self.engine.peek_event()
         progressed = self._original_step()
         if progressed and upcoming is not None and upcoming.processed:
             kind, label = _describe(upcoming)

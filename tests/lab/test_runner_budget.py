@@ -1,0 +1,218 @@
+"""Worker budgeting, fallback diagnostics, and deterministic progress.
+
+Covers the runner's decision layer without spawning real worker
+processes: core detection via the affinity mask, clamping of
+oversubscribed ``workers`` requests, the :class:`UnpicklableSpecWarning`
+diagnostic naming the offending spec attribute, the cold-pool cost
+model, the broken-pool sequential fallback, and order-independent
+progress reporting from ``_cells_parallel``.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.failures import FailureProfile
+from repro.lab import experiment
+from repro.lab.experiment import (
+    ExperimentSpec,
+    UnpicklableSpecWarning,
+    run_experiment,
+)
+
+
+def metric_success(grid):
+    return grid.acdc_db.success_rate()
+
+
+def _spec(**overrides):
+    fields = dict(
+        name="budget",
+        base=dict(scale=900, duration_days=1),
+        variants={
+            "calm": dict(failures=FailureProfile.calm()),
+            "noisy": dict(failures=FailureProfile.early()),
+        },
+        metrics={"success": metric_success},
+        repeats=1,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+# -- core detection -----------------------------------------------------------
+
+def test_available_cores_prefers_affinity_mask(monkeypatch):
+    """sched_getaffinity (cpuset-aware) must win over cpu_count."""
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3}, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert experiment._available_cores() == 2
+
+
+def test_available_cores_falls_back_to_cpu_count(monkeypatch):
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert experiment._available_cores() == 6
+
+
+def test_workers_none_resolves_to_core_budget(monkeypatch):
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 3)
+    assert experiment._effective_workers(None, 100, None) == 3
+
+
+def test_workers_clamped_to_core_budget_with_note(monkeypatch):
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 2)
+    notes = []
+    assert experiment._effective_workers(8, 100, notes.append) == 2
+    assert len(notes) == 1
+    assert "workers=8 exceeds 2 available core(s)" in notes[0]
+
+
+def test_workers_never_exceed_cell_count(monkeypatch):
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 16)
+    assert experiment._effective_workers(8, 3, None) == 3
+    assert experiment._effective_workers(None, 1, None) == 1
+
+
+# -- unpicklable diagnostics --------------------------------------------------
+
+def test_unpicklable_spec_warns_with_culprit_name(monkeypatch):
+    """The fallback must *name* the attribute that killed pickling."""
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 4)
+    spec = _spec(metrics={"bad": lambda grid: 0.0})
+    notes = []
+    with pytest.warns(UnpicklableSpecWarning, match=r"metrics\['bad'\]"):
+        results = run_experiment(spec, progress=notes.append, workers=4)
+    assert [r.variant for r in results] == ["calm", "noisy"]
+    # The same diagnostic also flows through the progress channel.
+    assert any("metrics['bad']" in n and "running sequentially" in n
+               for n in notes)
+
+
+def test_find_unpicklable_points_at_variant_override():
+    spec = _spec()
+    spec.variants = {"calm": {"failures": lambda: None}}
+    culprit = experiment._find_unpicklable(spec)
+    assert culprit.startswith("variants['calm']['failures']")
+
+
+def test_picklable_spec_emits_no_warning(recwarn):
+    spec = _spec()
+    experiment._spec_is_picklable(spec, None)
+    assert not [w for w in recwarn if w.category is UnpicklableSpecWarning]
+
+
+# -- cost model and degradation paths -----------------------------------------
+
+def test_cold_pool_small_sweep_stays_sequential(monkeypatch):
+    """A cold pool plus cheap cells must not fan out (the 0.79x fix)."""
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 4)
+    monkeypatch.setattr(experiment, "_get_pool", lambda workers: (object(), False))
+    monkeypatch.setattr(
+        experiment, "_run_cell_metrics",
+        lambda spec, variant, repeat: {"success": float(repeat)},
+    )
+    notes = []
+    results = run_experiment(_spec(repeats=2), progress=notes.append, workers=4)
+    # The fake pool has no .submit — reaching the fan-out would crash,
+    # so completing proves the cost model kept the sweep sequential.
+    assert [r.samples["success"] for r in results] == [(0.0, 1.0)] * 2
+    assert any("too small to amortize worker spawn" in n for n in notes)
+    assert notes[-1] == "budget: 4/4 cells done"
+
+
+def test_broken_pool_degrades_to_sequential(monkeypatch):
+    from concurrent.futures.process import BrokenProcessPool
+
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 4)
+    monkeypatch.setattr(experiment, "_get_pool", lambda workers: (object(), True))
+    monkeypatch.setattr(
+        experiment, "_run_cell_metrics",
+        lambda spec, variant, repeat: {"success": float(repeat) + 0.25},
+    )
+
+    def _boom(*args, **kwargs):
+        raise BrokenProcessPool("worker died")
+
+    monkeypatch.setattr(experiment, "_cells_parallel", _boom)
+    notes = []
+    results = run_experiment(_spec(repeats=2), progress=notes.append, workers=4)
+    assert [r.samples["success"] for r in results] == [(0.25, 1.25)] * 2
+    assert any("worker pool died; finishing sequentially" in n for n in notes)
+
+
+# -- deterministic progress under out-of-order completion ---------------------
+
+class _ReverseExecutor:
+    """Test double: resolves submitted futures in *reverse* submission
+    order (worst-case completion order) with synthetic results, without
+    spawning any process."""
+
+    def __init__(self, n_expected):
+        self.n_expected = n_expected
+        self.submitted = []
+        self._thread = threading.Thread(target=self._resolve, daemon=True)
+        self._thread.start()
+
+    def submit(self, fn, spec, chunk):
+        future = Future()
+        self.submitted.append((future, chunk))
+        return future
+
+    def _resolve(self):
+        deadline = time.monotonic() + 10.0
+        while len(self.submitted) < self.n_expected:
+            if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                for future, _chunk in self.submitted:
+                    future.set_exception(TimeoutError("stub never filled"))
+                return
+            time.sleep(0.001)
+        for future, chunk in reversed(self.submitted):
+            future.set_result(
+                [(v, r, {"success": 100.0 * r + len(v)}) for v, r in chunk]
+            )
+            time.sleep(0.002)
+
+
+def test_progress_counts_deterministic_under_reverse_completion():
+    """Progress lines carry counts only, and collected values land on
+    the right cells, even when chunks complete in reverse order."""
+    spec = _spec(
+        variants={"a": {}, "b": {}, "c": {}},
+        repeats=2,
+        name="revorder",
+    )
+    cells = [(v, r) for v in spec.variants for r in range(spec.repeats)]
+    n_chunks = len(experiment._chunk_cells(cells, workers=2))
+    stub = _ReverseExecutor(n_expected=n_chunks)
+    notes = []
+    values = experiment._cells_parallel(
+        spec, cells, workers=2, progress=notes.append, executor=stub,
+    )
+    assert notes == [f"revorder: {i}/6 cells done" for i in range(1, 7)]
+    assert values == {
+        (v, r): {"success": 100.0 * r + len(v)} for v, r in cells
+    }
+
+
+def test_run_experiment_assembles_declaration_order(monkeypatch):
+    """Even when the parallel collector returns cells scrambled, the
+    final results follow variant declaration order."""
+    monkeypatch.setattr(experiment, "_available_cores", lambda: 4)
+    monkeypatch.setattr(experiment, "_get_pool", lambda workers: (object(), True))
+
+    def _scrambled(spec, cells, workers, progress, done_offset=0,
+                   total=None, executor=None):
+        return {
+            (v, r): {"success": float(r)}
+            for v, r in reversed(cells)
+        }
+
+    monkeypatch.setattr(experiment, "_cells_parallel", _scrambled)
+    spec = _spec(variants={"z": {}, "m": {}, "a": {}}, repeats=2)
+    results = run_experiment(spec, workers=4)
+    assert [r.variant for r in results] == ["z", "m", "a"]
+    assert all(r.samples["success"] == (0.0, 1.0) for r in results)
