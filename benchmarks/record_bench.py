@@ -2,10 +2,12 @@
 
 Writes ``BENCH_kernel.json`` (kernel event throughput, 7-day grid wall
 time, MetricStore query latency, experiment sweep speedup),
-``BENCH_transfers.json`` (managed-transfer burst), and
-``BENCH_trace.json`` (tracing overhead, traced vs untraced wall clock,
-plus a loadable Perfetto sample in ``trace_sample.json``) so future PRs
-have a trajectory to regress against.  Run from the repo root:
+``BENCH_scale.json`` (the 27/200/500-site ladder: events/s, peak RSS,
+metrics memory-budget accounting), ``BENCH_transfers.json``
+(managed-transfer burst), and ``BENCH_trace.json`` (tracing overhead,
+traced vs untraced wall clock, plus a loadable Perfetto sample in
+``trace_sample.json``) so future PRs have a trajectory to regress
+against.  Run from the repo root:
 
     PYTHONPATH=src python benchmarks/record_bench.py            # full
     PYTHONPATH=src python benchmarks/record_bench.py --smoke    # CI
@@ -238,6 +240,56 @@ def bench_worker_sweep(smoke: bool) -> Dict[str, object]:
     }
 
 
+def bench_scale(smoke: bool) -> Dict[str, object]:
+    """The 27-vs-N-site ladder for ``BENCH_scale.json``.
+
+    Runs the same traced-free workload on the paper catalog and on
+    synthetic fabrics, recording wall time, kernel events/s (the
+    engine's dispatch counter over wall clock), process peak RSS
+    (``ru_maxrss`` — no psutil in the container), and the metrics
+    memory-governor accounting.  ``budget_respected`` is the CI gate:
+    the governor's peak live bytes must stay at or under the budget.
+    """
+    import resource
+
+    days = 1 if smoke else 2
+    ladder = (27, 100, 200) if smoke else (27, 200, 500)
+    budget_mb = 16.0 if smoke else 64.0
+    rows = []
+    for sites in ladder:
+        fabric = None if sites == 27 else {"sites": sites}
+        t0 = time.perf_counter()
+        grid = Grid3(Grid3Config(
+            seed=11, scale=400, duration_days=days,
+            fabric=fabric,
+            metrics_memory_budget_mb=budget_mb,
+            apps=["usatlas", "ivdgl", "exerciser"],
+            failures=FailureProfile.calm(),
+        ))
+        grid.run_full()
+        wall = time.perf_counter() - t0
+        gov = grid.governor.report()
+        rows.append({
+            "sites": len(grid.sites),
+            "total_cpus": grid.total_cpus(),
+            "wall_s": round(wall, 3),
+            "events": grid.engine.dispatched,
+            "events_per_sec": round(grid.engine.dispatched / wall) if wall else None,
+            "records": len(grid.acdc_db),
+            "peak_rss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+            ),
+            "metrics_budget_mb": budget_mb,
+            "metrics_peak_bytes": int(gov["peak_bytes"]),
+            "metrics_current_bytes": int(gov["current_bytes"]),
+            "metrics_evicted_samples": int(gov["evicted_samples"]),
+            "governed_stores": int(gov["stores"]),
+            "budget_respected": bool(gov["peak_bytes"] <= gov["budget_bytes"]),
+        })
+        print(f"  scale ladder {sites} sites: {rows[-1]}", flush=True)
+    return {"duration_days": days, "ladder": rows}
+
+
 def bench_transfers(smoke: bool) -> Dict[str, object]:
     """Managed-transfer throughput benchmark: N concurrent
     TransferManager tickets fanning out from the Tier1 sources across
@@ -348,6 +400,8 @@ def main() -> int:
                         help="sample Perfetto trace from the traced arm")
     parser.add_argument("--sweep-out", default="BENCH_sweep.json",
                         help="worker-count sweep output path")
+    parser.add_argument("--scale-bench-out", default="BENCH_scale.json",
+                        help="site-count scale ladder output path")
     args = parser.parse_args()
 
     current = {}
@@ -383,6 +437,20 @@ def main() -> int:
         }, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.sweep_out}")
+
+    t0 = time.perf_counter()
+    scale = bench_scale(args.smoke)
+    print(f"scale: {len(scale['ladder'])} ladder rungs "
+          f"({time.perf_counter() - t0:.1f}s)", flush=True)
+    with open(args.scale_bench_out, "w") as fh:
+        json.dump({
+            "generated_by": "benchmarks/record_bench.py",
+            "mode": "smoke" if args.smoke else "full",
+            "python": sys.version.split()[0],
+            "current": scale,
+        }, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.scale_bench_out}")
 
     t0 = time.perf_counter()
     transfers = bench_transfers(args.smoke)

@@ -6,6 +6,7 @@ Subcommands
 ``run``        deploy + run a full-mix simulation, print summary/milestones
 ``figures``    run and print any of the paper's figures (2-6) and Table 1
 ``catalog``    print the reconstructed 27-site catalog
+``fabric``     generate + summarise a synthetic N-site catalog
 ``export``     run and dump the ACDC job records as CSV
 ``health``     run and print the per-site, per-service availability table
 ``data``       run with the managed data subsystem, print storage tables
@@ -158,6 +159,34 @@ def cmd_catalog(args, out=print) -> int:
     ))
     total = sum(s.cpus for s in GRID3_SITES)
     out(f"\n{len(GRID3_SITES)} sites, {total} CPUs peak")
+    return 0
+
+
+def cmd_fabric(args, out=print) -> int:
+    """Generate and summarise a synthetic site catalog (no simulation)."""
+    from .fabric import summarize, synthesize
+    specs = synthesize(
+        sites=args.sites, total_cpus=args.cpus, seed=args.seed,
+        regions=args.regions,
+    )
+    info = summarize(specs)
+    out(render_table(
+        ["statistic", "value"],
+        [(k, v) for k, v in info.items() if not isinstance(v, (dict, list))],
+    ))
+    out("\nsites per owner VO: " + ", ".join(
+        f"{vo}={n}" for vo, n in info["sites_by_vo"].items()))
+    out("sites per region: " + ", ".join(
+        f"{r}={n}" for r, n in info["sites_by_region"].items()))
+    out(f"\nlargest {args.top} sites:")
+    ranked = sorted(specs, key=lambda s: -s.cpus)[:args.top]
+    out(render_table(
+        ["site", "vo", "cpus", "batch", "type", "region", "mbit"],
+        [(s.name, s.owner_vo, s.cpus, s.batch_system,
+          "shared" if s.shared else "dedicated", s.region or "-",
+          f"{s.bandwidth_mbit:g}")
+         for s in ranked],
+    ))
     return 0
 
 
@@ -396,6 +425,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cat = sub.add_parser("catalog", help="print the 27-site catalog")
     p_cat.set_defaults(func=cmd_catalog)
+
+    p_fab = sub.add_parser(
+        "fabric", help="generate + summarise a synthetic site catalog"
+    )
+    p_fab.add_argument("--sites", type=int, default=500,
+                       help="catalog size (default 500)")
+    p_fab.add_argument("--cpus", type=int, default=None,
+                       help="total CPUs (default sites*104)")
+    p_fab.add_argument("--seed", type=int, default=42)
+    p_fab.add_argument("--regions", type=int, default=8,
+                       help="synthetic WAN regions (default 8)")
+    p_fab.add_argument("--top", type=int, default=10,
+                       help="largest sites to list (default 10)")
+    p_fab.set_defaults(func=cmd_fabric)
 
     p_exp = sub.add_parser("export", help="dump ACDC job records as CSV")
     _add_run_options(p_exp)

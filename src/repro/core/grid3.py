@@ -164,6 +164,21 @@ class Grid3Config:
     fair_share_half_life_hours: float = 24.0
     #: VO -> target share (normalised; None = equal shares).
     fair_share_targets: Optional[Dict[str, float]] = None
+    #: Synthetic fabric (the scale-out path): a site count, or a dict of
+    #: :func:`repro.fabric.synthesize` kwargs (``{"sites": 500, ...}``).
+    #: None = the 27-site paper catalog scaled by ``scale``.  When set,
+    #: site CPUs come from the generator (``scale`` still divides
+    #: workload sizes), the WAN is wired tiered, and the exerciser
+    #: probes the anchor + largest sites.  The generator defaults its
+    #: ``seed`` to this config's seed.
+    fabric: object = None
+    #: Global monitoring memory budget (MB).  When set, one
+    #: :class:`~repro.monitoring.MemoryGovernor` spans every MetricStore
+    #: in the estate: when the live sample pool would exceed the budget,
+    #: the oldest time windows are evicted into streaming aggregates
+    #: (``window_stats`` keeps answering over them).  None = unbounded,
+    #: byte-identical to the pre-governor build.
+    metrics_memory_budget_mb: Optional[float] = None
 
     def validate(self) -> "Grid3Config":
         """Reject unknown knobs and contradictory settings.
@@ -238,6 +253,33 @@ class Grid3Config:
                     f"unknown app(s) {unknown!r}"
                     f"{_suggest(unknown[0], sorted(APP_CLASSES))}"
                 )
+        if self.fabric is not None:
+            import inspect
+
+            from ..fabric.synthesize import synthesize
+            if isinstance(self.fabric, bool) or not isinstance(self.fabric, (int, dict)):
+                raise ConfigurationError(
+                    f"fabric must be a site count or a dict of "
+                    f"synthesize() kwargs, got {self.fabric!r}"
+                )
+            if isinstance(self.fabric, int) and self.fabric < 1:
+                raise ConfigurationError(
+                    f"fabric site count must be >= 1, got {self.fabric!r}"
+                )
+            if isinstance(self.fabric, dict):
+                allowed = set(inspect.signature(synthesize).parameters)
+                unknown = sorted(set(self.fabric) - allowed)
+                if unknown:
+                    raise ConfigurationError(
+                        f"unknown fabric knob(s) {unknown!r}"
+                        f"{_suggest(unknown[0], sorted(allowed))}"
+                    )
+        if self.metrics_memory_budget_mb is not None:
+            if not self.metrics_memory_budget_mb > 0:
+                raise ConfigurationError(
+                    "metrics_memory_budget_mb must be positive, got "
+                    f"{self.metrics_memory_budget_mb!r}"
+                )
         return self
 
 
@@ -253,20 +295,48 @@ class Grid3:
         self.rng = RngRegistry(cfg.seed)
         self.calendar = SimCalendar()
         self.network = Network(self.engine)
-        self.catalog: List[SiteSpec] = scaled_catalog(cfg.scale)
+        if cfg.fabric is not None:
+            # Synthetic fabric: the generator is a pure function of its
+            # kwargs with its own RNG, so building it perturbs no
+            # simulation stream.
+            from ..fabric.synthesize import site_regions, synthesize
+            fabric_kwargs = (
+                dict(cfg.fabric) if isinstance(cfg.fabric, dict)
+                else {"sites": int(cfg.fabric)}
+            )
+            fabric_kwargs.setdefault("seed", cfg.seed)
+            self.catalog: List[SiteSpec] = synthesize(**fabric_kwargs)
+            self._fabric_regions: Optional[Dict[str, str]] = site_regions(self.catalog)
+        else:
+            self.catalog = scaled_catalog(cfg.scale)
+            self._fabric_regions = None
         self.sites = build_sites(self.engine, self.network, self.catalog)
         # Publish the reconstructed usage policies on every site (§5).
         # Publication is passive — no RNG, no events — so it leaves
         # same-seed runs byte-identical; enforcement is gated below on
-        # cfg.fair_share.
+        # cfg.fair_share.  Synthetic fabrics auto-generate their policy
+        # set (the generated VO allow-lists) from the same spec rules.
         from ..scheduling.policy import POLICY_SETS
-        self.usage_policies = POLICY_SETS[cfg.site_policies](self.catalog, GRID3_VOS)
+        if self._fabric_regions is not None and cfg.site_policies == "paper":
+            from ..fabric.synthesize import synthetic_policies
+            self.usage_policies = synthetic_policies(
+                self.catalog, GRID3_VOS, seed=cfg.seed
+            )
+        else:
+            self.usage_policies = POLICY_SETS[cfg.site_policies](self.catalog, GRID3_VOS)
         for site in self.sites.values():
             site.usage_policy = self.usage_policies.get(site.name)
         # Regional WAN trunks (OC-48-class; uncongested at Grid3 demand,
-        # per §6.3's edge-dominated problem reports).
+        # per §6.3's edge-dominated problem reports).  Synthetic fabrics
+        # use the tiered hub-and-spoke backbone (O(regions) trunks).
         from ..fabric.topology import wire_backbone
-        wire_backbone(self.network, self.sites.values())
+        if self._fabric_regions is not None:
+            wire_backbone(
+                self.network, self.sites.values(),
+                regions=self._fabric_regions, tiered=True,
+            )
+        else:
+            wire_backbone(self.network, self.sites.values())
         if cfg.disk_scale != 1.0:
             # scaled_catalog divides CPUs but leaves disks full-size; the
             # disk-pressure scenarios shrink them here so the §6.2 regime
@@ -298,6 +368,16 @@ class Grid3:
             self.rls.attach_lrc(LocalReplicaCatalog(name, engine=self.engine))
         self.ledger = TransferLedger()
 
+        # Monitoring memory budget: one governor spans every MetricStore
+        # in the estate (None = unbounded, the pre-governor behaviour).
+        if cfg.metrics_memory_budget_mb is not None:
+            from ..monitoring import MemoryGovernor
+            self.governor: Optional[object] = MemoryGovernor(
+                cfg.metrics_memory_budget_mb
+            )
+        else:
+            self.governor = None
+
         # End-to-end tracing (§4.7/§8 troubleshooting): a JobTracer when
         # on, the shared no-op otherwise — call sites never branch.
         from ..trace import NULL_TRACER, JobTracer
@@ -305,6 +385,8 @@ class Grid3:
             JobTracer(self.engine, max_traces=cfg.trace_max_traces)
             if cfg.tracing else NULL_TRACER
         )
+        if self.tracer.enabled:
+            self._govern(self.tracer.metrics)
 
         # Central services at the iGOC (§5.4).
         self.igoc = IGOC(self.engine)
@@ -325,6 +407,7 @@ class Grid3:
                 low_watermark=cfg.data_low_watermark,
                 tracer=self.tracer,
             )
+            self._govern(self.data.store)
 
         self.runner = Grid3Runner(
             self.sites, self.rls, self.rng,
@@ -346,6 +429,24 @@ class Grid3:
         self.policy_engine = None
         self._deployed = False
         self._apps_started = False
+
+    def _govern(self, store: object) -> None:
+        """Put a MetricStore under the global memory budget (no-op when
+        no budget is configured or the object is not a MetricStore)."""
+        if self.governor is None:
+            return
+        from ..monitoring import MetricStore
+        if isinstance(store, MetricStore):
+            self.governor.register(store)
+
+    def exerciser_sites(self) -> List[str]:
+        """The exerciser probe footprint.  Paper catalog: the Table 1
+        14-site roster.  Synthetic fabric: the anchors plus the largest
+        generated sites, 14 total (the catalog is emitted largest-first,
+        anchors leading)."""
+        if self.config.fabric is None:
+            return EXERCISER_SITES
+        return [s.name for s in self.catalog[:len(EXERCISER_SITES)]]
 
     # -- deployment (§5.1) ------------------------------------------------
     def deploy(self) -> None:
@@ -413,7 +514,8 @@ class Grid3:
         ganglia_web = GangliaWeb()
         repository = MonALISARepository(bin_width=_HOUR)
         for site in sites:
-            GangliaAgent(self.engine, site, ganglia_web, interval=_HOUR)
+            agent = GangliaAgent(self.engine, site, ganglia_web, interval=_HOUR)
+            self._govern(agent.local_store)
             MonALISAAgent(self.engine, site, repository, GRID3_VOS, interval=_HOUR)
         acdc = ACDCJobMonitor(self.engine, sites)
         status_catalog = SiteStatusCatalog(self.engine, sites)
@@ -421,6 +523,8 @@ class Grid3:
             self.engine, sites, interval=_HOUR,
             extra_services=self._central_services(),
         )
+        self._govern(ganglia_web.store)
+        self._govern(service_health.store)
         self.monitors = {
             "ganglia": ganglia_web,
             "monalisa": repository,
@@ -460,6 +564,7 @@ class Grid3:
             from ..scheduling.policy import PolicyEngine
             from ..sim.units import HOUR as _H
             sched_store = MetricStore(max_samples=200_000)
+            self._govern(sched_store)
             self.fairshare = FairShareLedger(
                 GRID3_VOS,
                 targets=cfg.fair_share_targets,
@@ -564,7 +669,7 @@ class Grid3:
             if name == "ligo":
                 app = cls(ctx, test_mode=self.config.ligo_test_mode)
             elif name == "exerciser":
-                app = cls(ctx, probe_sites=EXERCISER_SITES)
+                app = cls(ctx, probe_sites=self.exerciser_sites())
             else:
                 app = cls(ctx)
             if name == "usatlas":

@@ -17,6 +17,7 @@ from .cluster import Cluster, WorkerNode
 from .network import Flow, Link, Network
 from .site import Site, SiteConfig
 from .topology import (
+    CORE_REGION,
     DEFAULT_TRUNK_BANDWIDTH,
     REGIONS,
     SITE_REGION,
@@ -25,8 +26,17 @@ from .topology import (
     wire_backbone,
 )
 from .storage import FileObject, Reservation, StorageElement
+from .synthesize import (
+    ANCHOR_SITES,
+    site_regions,
+    summarize,
+    synthesize,
+    synthetic_policies,
+)
 
 __all__ = [
+    "ANCHOR_SITES",
+    "CORE_REGION",
     "Cluster",
     "FileObject",
     "Flow",
@@ -52,6 +62,10 @@ __all__ = [
     "peak_cpus",
     "scaled_catalog",
     "shared_fraction",
+    "site_regions",
     "spec_by_name",
+    "summarize",
+    "synthesize",
+    "synthetic_policies",
     "typical_cpus",
 ]

@@ -54,6 +54,10 @@ class SiteSpec:
     #: Grid3 hardware spanned roughly 0.8-1.3x; job wall-clock scales
     #: inversely.
     cpu_speed: float = 1.0
+    #: WAN region tag.  The 27-site catalog leaves this None (regions
+    #: come from ``topology.SITE_REGION``); synthetic catalogs carry
+    #: their generated region here.
+    region: Optional[str] = None
 
     def build(self, engine: Engine, network: Network, cpus_per_node: int = 2) -> Site:
         """Instantiate the live Site for this spec."""
@@ -147,12 +151,39 @@ def shared_fraction(specs: Optional[List[SiteSpec]] = None) -> float:
     return shared / total if total else 0.0
 
 
+#: Cached name->spec indexes keyed by catalog identity; validated by
+#: (length, first element) so an in-place rebuild of the same list
+#: object is still detected.  Bounded: one entry per distinct catalog
+#: list in flight (callers hold a handful at most).
+_SPEC_INDEX: Dict[int, tuple] = {}
+
+
 def spec_by_name(name: str, specs: Optional[List[SiteSpec]] = None) -> SiteSpec:
-    """Catalog lookup; raises KeyError for unknown sites."""
-    for spec in specs or GRID3_SITES:
-        if spec.name == name:
-            return spec
-    raise KeyError(name)
+    """Catalog lookup; raises KeyError for unknown sites.
+
+    O(1) via a per-catalog cached index — this is a hot path when
+    1000-site synthetic fabrics resolve specs per event.
+    """
+    catalog = specs if specs is not None else GRID3_SITES
+    key = id(catalog)
+    cached = _SPEC_INDEX.get(key)
+    if (
+        cached is None
+        or cached[0] != len(catalog)
+        or (catalog and cached[1] is not catalog[0])
+    ):
+        if len(_SPEC_INDEX) > 64:
+            _SPEC_INDEX.clear()
+        index: Dict[str, SiteSpec] = {}
+        for spec in catalog:
+            # First entry wins, matching the old linear scan.
+            index.setdefault(spec.name, spec)
+        cached = (len(catalog), catalog[0] if catalog else None, index)
+        _SPEC_INDEX[key] = cached
+    spec = cached[2].get(name)
+    if spec is None:
+        raise KeyError(name)
+    return spec
 
 
 def scaled_catalog(scale: float) -> List[SiteSpec]:

@@ -6,13 +6,21 @@ starts; the cluster only answers *where* (which node has a free CPU) and
 tracks what runs on each node so node-level failures — the "nightly roll
 over of worker nodes" that burned ATLAS in §6.1 — can kill exactly the
 processes running there.
+
+Capacity queries (``free_cpus`` etc.) are maintained counters and
+placement is a bucketed argmax, so per-dispatch cost no longer scales
+with farm size: at synthetic-fabric scale (hundreds of sites, thousands
+of nodes) the old O(nodes) scans per event dominated entire runs.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Engine, Process
+
+_MISSING = object()
 
 
 class WorkerNode:
@@ -42,7 +50,14 @@ class WorkerNode:
 
 
 class Cluster:
-    """A site's farm of worker nodes."""
+    """A site's farm of worker nodes.
+
+    Placement semantics are pinned: :meth:`allocate` picks the node
+    with the *strictly maximal* free-CPU count, lowest list index
+    breaking ties — exactly the old linear argmax scan, now served by
+    per-free-count index heaps with lazy invalidation (amortized
+    O(log nodes) instead of O(nodes) per placement).
+    """
 
     def __init__(self, engine: Engine, name: str, nodes: int, cpus_per_node: int = 2) -> None:
         if nodes < 1:
@@ -55,34 +70,66 @@ class Cluster:
         #: Observers called as fn(node, occupant_key) when a running
         #: occupant is killed by a node event.
         self.on_eviction: List[Callable] = []
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        """Recompute counters and placement heaps from node state."""
+        self._total = sum(n.cpus for n in self.nodes)
+        self._online_cpus = sum(n.cpus for n in self.nodes if n.online)
+        self._busy = sum(len(n.running) for n in self.nodes)
+        self._node_index = {id(n): i for i, n in enumerate(self.nodes)}
+        # free count -> min-heap of node indices.  Entries go stale when
+        # a node's free count moves on (or duplicate when it returns);
+        # they are discarded lazily when popped (validity: node still
+        # online with exactly that free count).  A max-heap of negated
+        # counts tracks which buckets may hold the current maximum; it
+        # holds exactly one key per existing bucket.
+        self._buckets: Dict[int, List[int]] = {}
+        self._bucket_keys: List[int] = []
+        for i, node in enumerate(self.nodes):
+            free = node.free_cpus
+            if free > 0:
+                self._push_free(i, free)
+
+    def _push_free(self, index: int, free: int) -> None:
+        bucket = self._buckets.get(free)
+        if bucket is None:
+            self._buckets[free] = [index]
+            heapq.heappush(self._bucket_keys, -free)
+        else:
+            heapq.heappush(bucket, index)
 
     # -- capacity ----------------------------------------------------------
     @property
     def total_cpus(self) -> int:
         """All CPU slots, online or not."""
-        return sum(n.cpus for n in self.nodes)
+        return self._total
 
     @property
     def online_cpus(self) -> int:
         """CPU slots on online nodes."""
-        return sum(n.cpus for n in self.nodes if n.online)
+        return self._online_cpus
 
     @property
     def busy_cpus(self) -> int:
         """Occupied CPU slots."""
-        return sum(len(n.running) for n in self.nodes)
+        return self._busy
 
     @property
     def free_cpus(self) -> int:
-        """Slots available for new work right now."""
-        return sum(n.free_cpus for n in self.nodes)
+        """Slots available for new work right now.
+
+        Occupants never survive on an offline node (node failure evicts
+        them), so online minus busy is exact.
+        """
+        return self._online_cpus - self._busy
 
     @property
     def utilisation(self) -> float:
         """busy / total (not just online) — matches the paper's
         'percentage of resources used' metric definition (§7)."""
-        total = self.total_cpus
-        return self.busy_cpus / total if total else 0.0
+        total = self._total
+        return self._busy / total if total else 0.0
 
     # -- placement -----------------------------------------------------------
     def allocate(self, occupant: object, process: Optional[Process] = None) -> Optional[WorkerNode]:
@@ -91,18 +138,39 @@ class Cluster:
         Returns the node, or None when the cluster is full.  ``process``
         (if given) is interrupted if the node later fails.
         """
-        best: Optional[WorkerNode] = None
-        for node in self.nodes:
-            if node.free_cpus > 0 and (best is None or node.free_cpus > best.free_cpus):
-                best = node
-        if best is None:
-            return None
-        best.running[occupant] = process
-        return best
+        buckets = self._buckets
+        keys = self._bucket_keys
+        nodes = self.nodes
+        while keys:
+            free = -keys[0]
+            bucket = buckets.get(free)
+            while bucket:
+                node = nodes[bucket[0]]
+                if node.online and node.cpus - len(node.running) == free:
+                    index = heapq.heappop(bucket)
+                    node.running[occupant] = process
+                    self._busy += 1
+                    if free > 1:
+                        self._push_free(index, free - 1)
+                    if not bucket:
+                        del buckets[free]
+                        heapq.heappop(keys)
+                    return node
+                heapq.heappop(bucket)
+            if free in buckets:
+                del buckets[free]
+            heapq.heappop(keys)
+        return None
 
     def release(self, node: WorkerNode, occupant: object) -> None:
         """Free the CPU ``occupant`` held on ``node``."""
-        node.running.pop(occupant, None)
+        if node.running.pop(occupant, _MISSING) is _MISSING:
+            return
+        self._busy -= 1
+        if node.online:
+            index = self._node_index.get(id(node))
+            if index is not None:
+                self._push_free(index, node.cpus - len(node.running))
 
     # -- node lifecycle ----------------------------------------------------------
     def fail_node(self, node: WorkerNode, cause: object = "node failure") -> List[object]:
@@ -111,6 +179,9 @@ class Cluster:
         Returns the evicted occupant keys.  The node stays offline until
         :meth:`restore_node`.
         """
+        if node.online:
+            self._online_cpus -= node.cpus
+            self._busy -= len(node.running)
         node.online = False
         evicted = list(node.running.keys())
         for occupant, process in list(node.running.items()):
@@ -123,7 +194,12 @@ class Cluster:
 
     def restore_node(self, node: WorkerNode) -> None:
         """Bring a node back online."""
-        node.online = True
+        if not node.online:
+            self._online_cpus += node.cpus
+            node.online = True
+            index = self._node_index.get(id(node))
+            if index is not None:
+                self._push_free(index, node.free_cpus)
 
     def rollover(self, fraction: float, cause: object = "nightly rollover") -> List[object]:
         """Reboot a fraction of nodes simultaneously (ACDC's nightly
@@ -153,6 +229,9 @@ class Cluster:
             to_remove = len(self.nodes) - new_nodes
             for node in removable[:to_remove]:
                 self.nodes.remove(node)
+        # Indices shifted (and entries may reference removed nodes):
+        # rebuild wholesale.  Resizes are rare operator events.
+        self._rebuild_index()
 
     def __repr__(self) -> str:
         return f"<Cluster {self.name} {self.busy_cpus}/{self.total_cpus} cpus>"

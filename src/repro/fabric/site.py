@@ -142,7 +142,9 @@ class Site:
         if getattr(self.network, "backbone_enabled", False):
             from .topology import backbone_route
             middle = backbone_route(
-                getattr(self, "region", None), getattr(other, "region", None)
+                getattr(self, "region", None),
+                getattr(other, "region", None),
+                self.network,
             )
         return [self.uplink.name, *middle, other.downlink.name]
 

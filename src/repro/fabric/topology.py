@@ -56,6 +56,9 @@ REGIONS = ("east", "midwest", "south", "west", "asia")
 #: OC-48 trunk capacity in bytes/s.
 DEFAULT_TRUNK_BANDWIDTH = 2500e6 / 8.0
 
+#: The hub region name used by tiered (hub-and-spoke) backbones.
+CORE_REGION = "core"
+
 
 def trunk_name(a: str, b: str) -> str:
     """Canonical link name for the (unordered) region pair."""
@@ -68,20 +71,43 @@ def wire_backbone(
     sites: Iterable,
     trunk_bandwidth: float = DEFAULT_TRUNK_BANDWIDTH,
     regions: Optional[Dict[str, str]] = None,
+    tiered: bool = False,
 ) -> List[str]:
-    """Create the regional trunk mesh and tag sites with their region.
+    """Create the regional trunks and tag sites with their region.
+
+    Two topologies:
+
+    * flat mesh (default, the paper's five regions): a full trunk mesh
+      over every region pair, O(R^2) links — fine at R=5, wasteful for
+      synthetic fabrics with many regions;
+    * tiered (``tiered=True``): every region gets one trunk to a
+      ``core`` hub, O(R) links; inter-region routes cross two trunks.
+      This is the Abilene-style tier structure synthetic fabrics use.
 
     Returns the created trunk-link names.  Sites absent from the region
     map stay untagged (their routes remain edge-only).
     """
     regions = regions or SITE_REGION
+    if regions is SITE_REGION:
+        region_names: Iterable[str] = REGIONS
+    else:
+        region_names = tuple(sorted(set(regions.values())))
     created: List[str] = []
-    for i, a in enumerate(REGIONS):
-        for b in REGIONS[i + 1:]:
-            name = trunk_name(a, b)
+    if tiered:
+        for a in region_names:
+            name = trunk_name(a, CORE_REGION)
             if name not in network.links:
                 network.add_link(name, trunk_bandwidth)
                 created.append(name)
+        network.backbone_tiered = True
+    else:
+        region_names = tuple(region_names)
+        for i, a in enumerate(region_names):
+            for b in region_names[i + 1:]:
+                name = trunk_name(a, b)
+                if name not in network.links:
+                    network.add_link(name, trunk_bandwidth)
+                    created.append(name)
     for site in sites:
         region = regions.get(site.name)
         if region is not None:
@@ -90,8 +116,21 @@ def wire_backbone(
     return created
 
 
-def backbone_route(src_region: Optional[str], dst_region: Optional[str]) -> List[str]:
-    """Trunk links between two regions ([] when same/unknown region)."""
+def backbone_route(
+    src_region: Optional[str],
+    dst_region: Optional[str],
+    network: Optional[Network] = None,
+) -> List[str]:
+    """Trunk links between two regions ([] when same/unknown region).
+
+    On a tiered backbone (``network.backbone_tiered``) the route crosses
+    the two hub trunks; on the flat mesh it is the single direct trunk.
+    """
     if not src_region or not dst_region or src_region == dst_region:
         return []
+    if network is not None and getattr(network, "backbone_tiered", False):
+        return [
+            trunk_name(src_region, CORE_REGION),
+            trunk_name(CORE_REGION, dst_region),
+        ]
     return [trunk_name(src_region, dst_region)]

@@ -85,6 +85,9 @@ class GRIS(GridService):
         self._cache: Optional[Dict[str, object]] = None
         self._cached_at = -float("inf")
         self.queries_served = 0
+        #: Called (no args) whenever the cache is dropped by hand —
+        #: index layers holding sweep snapshots subscribe here.
+        self.on_invalidate: List[Callable[[], None]] = []
 
     def query(self) -> Dict[str, object]:
         """The site's current record (cached within the TTL)."""
@@ -96,9 +99,18 @@ class GRIS(GridService):
         self.queries_served += 1
         return dict(self._cache)
 
+    @property
+    def cache_valid_until(self) -> float:
+        """Sim-time at which the current cached record expires."""
+        if self._cache is None:
+            return -float("inf")
+        return self._cached_at + self.ttl
+
     def invalidate(self) -> None:
         """Drop the cache (e.g. after a Pacman install changes config)."""
         self._cache = None
+        for observer in self.on_invalidate:
+            observer()
 
 
 class GIIS(GridService):
@@ -114,14 +126,42 @@ class GIIS(GridService):
         self.registration_ttl = registration_ttl
         #: site name -> (GRIS-or-GIIS, last renewal time)
         self._registry: Dict[str, tuple] = {}
+        # Sweep cache: ``query_all`` is the matchmaker's per-selection
+        # hot path, but its result only changes when a GRIS cache
+        # expires, a registration churns, or a source flips
+        # availability.  Caching the sweep (and its online subset)
+        # between those events turns per-selection cost from
+        # O(total sites) GRIS round-trips into an O(1) snapshot reuse.
+        # Every record-changing event below invalidates the snapshot,
+        # so cached and uncached sweeps are byte-identical.
+        self._sweep: Optional[List[Dict[str, object]]] = None
+        self._sweep_online: List[Dict[str, object]] = []
+        self._sweep_until = -float("inf")
+        #: Only direct GRIS registrants have knowable cache lifetimes;
+        #: a nested-GIIS registrant disables caching entirely.
+        self._cacheable = True
+        self._watched: set = set()
+
+    def _invalidate_sweep(self, *_args) -> None:
+        self._sweep = None
 
     def register(self, name: str, source) -> None:
         """Register (or renew) a source under ``name``."""
         self._registry[name] = (source, self.engine.now)
+        self._sweep = None
+        if isinstance(source, GRIS):
+            key = id(source)
+            if key not in self._watched:
+                self._watched.add(key)
+                source.on_transition.append(self._invalidate_sweep)
+                source.on_invalidate.append(self._invalidate_sweep)
+        else:
+            self._cacheable = False
 
     def deregister(self, name: str) -> None:
         """Explicitly remove a registration."""
         self._registry.pop(name, None)
+        self._sweep = None
 
     def registered_names(self) -> List[str]:
         """Names with live (unexpired) registrations."""
@@ -148,15 +188,50 @@ class GIIS(GridService):
 
         Skipping (rather than failing) mirrors real MDS behaviour: one
         dead site must not take the whole index down.
+
+        The sweep is cached until the earliest GRIS-cache or
+        registration expiry (and invalidated by registry churn, source
+        availability transitions, and explicit GRIS invalidation), so
+        repeated sweeps inside that window reuse the snapshot.  The
+        returned list is fresh per call; the record dicts are shared —
+        treat them as read-only, as every in-tree consumer does.
         """
         self.require_available("index sweep")
+        if self._sweep is not None and self.engine.now < self._sweep_until:
+            return list(self._sweep)
         records = []
+        valid_until = float("inf")
+        ttl = self.registration_ttl
         for name in self.registered_names():
             try:
                 records.append(self.query(name))
             except (ServiceUnavailableError, KeyError):
                 continue
+            if self._cacheable:
+                source, at = self._registry[name]
+                valid_until = min(
+                    valid_until, source.cache_valid_until, at + ttl
+                )
+        if self._cacheable:
+            self._sweep = records
+            self._sweep_online = [
+                rec for rec in records if rec.get("status") == "online"
+            ]
+            self._sweep_until = valid_until
+            return list(records)
         return records
+
+    def active_records(self) -> List[Dict[str, object]]:
+        """The cached sweep restricted to records with online status —
+        what the matchmaker actually ranks.  Offline records would be
+        dropped by its admissibility filter anyway, so pre-splitting the
+        snapshot makes per-selection cost O(active sites)."""
+        self.require_available("index sweep")
+        if self._sweep is None or self.engine.now >= self._sweep_until:
+            records = self.query_all()
+            if not self._cacheable:
+                return [r for r in records if r.get("status") == "online"]
+        return list(self._sweep_online)
 
     def search(self, predicate: Callable[[Dict[str, object]], bool]) -> List[Dict[str, object]]:
         """All live records satisfying ``predicate`` — the discovery

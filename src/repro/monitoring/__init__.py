@@ -2,7 +2,13 @@
 consumers — Ganglia, MonALISA, ACDC, the Site Status Catalog, MDViewer."""
 
 from .acdc import ACDCDatabase, ACDCJobMonitor, JobRecord
-from .core import MetricSample, MetricStore, PeriodicProducer, make_tags
+from .core import (
+    MemoryGovernor,
+    MetricSample,
+    MetricStore,
+    PeriodicProducer,
+    make_tags,
+)
 from .ganglia import GangliaAgent, GangliaWeb
 from .mdviewer import MDViewer
 from .monalisa import MonALISAAgent, MonALISARepository
@@ -19,6 +25,7 @@ __all__ = [
     "GangliaWeb",
     "JobRecord",
     "MDViewer",
+    "MemoryGovernor",
     "MetricSample",
     "MetricStore",
     "MonALISAAgent",

@@ -134,6 +134,28 @@ def contention(seed: int = 42, scale: float = 400.0,
     )
 
 
+def scale_out(seed: int = 42, scale: float = 400.0, sites: int = 500,
+              budget_mb: float = 64.0) -> Grid3Config:
+    """Break the 27-site ceiling (§8: "the infrastructure must scale"):
+    a synthetic ``sites``-site fabric from
+    :func:`repro.fabric.synthesize`, traced, with every MetricStore
+    under one ``budget_mb`` memory budget.  Run the same seed at
+    ``fabric=None`` (the 27-site catalog) next to this config for the
+    27-vs-500 comparison; ``scale`` divides workload sizes only —
+    site CPUs come from the generator."""
+    return Grid3Config(
+        seed=seed,
+        scale=scale,
+        duration_days=3.0,
+        fabric={"sites": sites},
+        metrics_memory_budget_mb=budget_mb,
+        tracing=True,
+        apps=["usatlas", "ivdgl", "exerciser"],
+        failures=FailureProfile.calm(),
+        misconfig_probability=0.05,
+    )
+
+
 def paper_timeline(seed: int = 42, scale: float = 50.0) -> Grid3Config:
     """The full Grid3 arc in one run: §6.1's rough October/November
     shake-out transitioning to §7's stable regime mid-December, over the
@@ -155,6 +177,7 @@ SCENARIOS = {
     "lesson-applied": lesson_applied,
     "disk-pressure": disk_pressure,
     "contention": contention,
+    "scale-out": scale_out,
     "paper-timeline": paper_timeline,
 }
 

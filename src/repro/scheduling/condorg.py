@@ -87,9 +87,13 @@ class CondorG:
         self.tracer = tracer or NULL_TRACER
         self.max_retries = max_retries
         self.retry_delay = retry_delay
-        self._throttles: Dict[str, Resource] = {
-            name: Resource(engine, per_site_throttle) for name in sites
-        }
+        self.per_site_throttle = per_site_throttle
+        # Throttle Resources are created on first submission to a site:
+        # at synthetic-fabric scale most of a VO's submit host's sites
+        # never see one of its jobs, and N-VOs x M-sites eager maps are
+        # pure construction overhead.  Resource construction is passive
+        # (no events, no RNG), so laziness cannot change a run.
+        self._throttles: Dict[str, Resource] = {}
         #: Counters (the troubleshooting/accounting APIs of §8).
         self.submitted = 0
         self.completed = 0
@@ -170,7 +174,11 @@ class CondorG:
                 share_slot = share.request()
                 yield share_slot
                 self.policy.note_start(site_name, spec.vo)
-            throttle = self._throttles[site_name]
+            throttle = self._throttles.get(site_name)
+            if throttle is None:
+                throttle = self._throttles[site_name] = Resource(
+                    self.engine, self.per_site_throttle
+                )
             slot = throttle.request()
             yield slot
             try:

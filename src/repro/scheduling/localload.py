@@ -42,6 +42,7 @@ class LocalLoadGenerator:
         self.adjust_interval = adjust_interval
         self.jitter = jitter
         self._held: List[str] = []  # occupant keys currently holding CPUs
+        self._nodes: dict = {}  # occupant key -> WorkerNode it landed on
         self._counter = 0
         self.process = engine.process(self._run(), name=f"localload-{site.name}")
 
@@ -71,13 +72,15 @@ class LocalLoadGenerator:
                 if node is None:
                     break
                 self._held.append(key)
-            # Shrink: local users log off.
+                self._nodes[key] = node
+            # Shrink: local users log off.  The key->node map makes each
+            # logoff O(1); release is a no-op if a node failure already
+            # evicted the key.
             while len(self._held) > target:
                 key = self._held.pop()
-                for node in self.site.cluster.nodes:
-                    if key in node.running:
-                        self.site.cluster.release(node, key)
-                        break
+                node = self._nodes.pop(key, None)
+                if node is not None:
+                    self.site.cluster.release(node, key)
             yield self.engine.timeout(self.adjust_interval)
 
 

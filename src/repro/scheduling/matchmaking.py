@@ -81,11 +81,18 @@ class SiteSelector:
         return True
 
     def candidates(self, spec: JobSpec, exclude: Sequence[str] = ()) -> List[Dict[str, object]]:
-        """Admissible site records for a spec, excluding named sites."""
+        """Admissible site records for a spec, excluding named sites.
+
+        Iterates the GIIS's cached *active* (online) snapshot rather
+        than sweeping the whole index per selection: offline records
+        would fail :meth:`admissible` anyway, so the subsequence of
+        admissible candidates — and hence the per-candidate RNG draw
+        order — is unchanged, at O(active sites) per selection.
+        """
         excluded = set(exclude)
         return [
             rec
-            for rec in self.giis.query_all()
+            for rec in self.giis.active_records()
             if rec["site"] not in excluded and self.admissible(rec, spec)
         ]
 
@@ -161,8 +168,8 @@ class RandomSelector:
     def rank(self, spec: JobSpec, exclude: Sequence[str] = ()) -> List[str]:
         names = [
             str(rec["site"])
-            for rec in self.giis.query_all()
-            if rec.get("status") == "online" and rec["site"] not in set(exclude)
+            for rec in self.giis.active_records()
+            if rec["site"] not in set(exclude)
         ]
         return self.rng.shuffled("random-selector", names)
 

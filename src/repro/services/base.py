@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ServiceUnavailableError
 
@@ -187,6 +187,12 @@ class GridService:
         self._state_since = self.now
         self._degraded_cause = ""
         self.ledger = DowntimeLedger()
+        #: Observers called as ``fn(service, old_state, new_state)`` on
+        #: every actual state change (no call when a transition is a
+        #: no-op, e.g. restoring an UP service).  Index layers (the GIIS
+        #: sweep cache) subscribe here to invalidate on availability
+        #: flips without polling every service per event.
+        self.on_transition: List[Callable[["GridService", ServiceState, ServiceState], None]] = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -226,9 +232,13 @@ class GridService:
         """
         if self._state is ServiceState.DOWN:
             return self.ledger.current
+        old = self._state
         self._state = ServiceState.DOWN
         self._state_since = self.now
-        return self.ledger.open(self.now, cause)
+        outage = self.ledger.open(self.now, cause)
+        for observer in self.on_transition:
+            observer(self, old, ServiceState.DOWN)
+        return outage
 
     def degrade(self, cause: str = "") -> None:
         """Mark the service DEGRADED (still answering, but unhealthy).
@@ -238,9 +248,13 @@ class GridService:
         """
         if self._state is ServiceState.DOWN:
             return
+        old = self._state
         self._state = ServiceState.DEGRADED
         self._state_since = self.now
         self._degraded_cause = cause
+        if old is not ServiceState.DEGRADED:
+            for observer in self.on_transition:
+                observer(self, old, ServiceState.DEGRADED)
 
     def restore(self, note: str = "") -> Optional[Outage]:
         """Bring the service back UP, closing the open outage (if any).
@@ -249,11 +263,14 @@ class GridService:
         tickets, the auto-validator) can attribute and time the fix;
         None when the service was not DOWN.
         """
-        was_down = self._state is ServiceState.DOWN
+        old = self._state
         self._state = ServiceState.UP
         self._state_since = self.now
         self._degraded_cause = ""
-        if not was_down:
+        if old is not ServiceState.UP:
+            for observer in self.on_transition:
+                observer(self, old, ServiceState.UP)
+        if old is not ServiceState.DOWN:
             return None
         return self.ledger.close(self.now)
 

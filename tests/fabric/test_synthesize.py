@@ -1,0 +1,150 @@
+"""Tests for the synthetic fabric generator (the scale-out path)."""
+
+import math
+
+import pytest
+
+from repro.fabric import (
+    ANCHOR_SITES,
+    GRID3_VOS,
+    VO_HOME_SITE,
+    Network,
+    build_sites,
+    site_regions,
+    summarize,
+    synthesize,
+    synthetic_policies,
+    wire_backbone,
+)
+from repro.sim import Engine
+
+
+def test_anchor_sites_come_first_with_canonical_names():
+    specs = synthesize(sites=50, seed=3)
+    assert [s.name for s in specs[: len(ANCHOR_SITES)]] == list(ANCHOR_SITES)
+    # Every VO's hardcoded home/archive site exists.
+    names = {s.name for s in specs}
+    for home in VO_HOME_SITE.values():
+        assert home in names
+
+
+def test_total_cpu_conservation_exact():
+    for sites, total in ((40, 5000), (333, 17_777), (500, 52_000)):
+        specs = synthesize(sites=sites, total_cpus=total, seed=9)
+        assert len(specs) == sites
+        assert sum(s.cpus for s in specs) == total
+
+
+def test_default_total_matches_paper_density():
+    specs = synthesize(sites=100, seed=0)
+    assert sum(s.cpus for s in specs) == 100 * 104
+
+
+def test_same_seed_byte_identical_different_seed_not():
+    a = synthesize(sites=80, seed=5)
+    b = synthesize(sites=80, seed=5)
+    c = synthesize(sites=80, seed=6)
+    assert a == b
+    assert a != c
+
+
+def test_power_law_tail():
+    """Hill estimator over the top order statistics recovers a heavy
+    tail near the configured Pareto shape, and the biggest 1 % of sites
+    hold an outsized CPU share."""
+    specs = synthesize(sites=2000, seed=7)
+    sizes = sorted((s.cpus for s in specs), reverse=True)
+    k = 100
+    xk = sizes[k]
+    hill = k / sum(math.log(sizes[i] / xk) for i in range(k))
+    assert 1.1 < hill < 2.3
+    assert sum(sizes[:20]) / sum(sizes) > 0.08
+
+
+def test_shared_fraction_clears_paper_target():
+    specs = synthesize(sites=300, seed=11)
+    total = sum(s.cpus for s in specs)
+    shared = sum(s.cpus for s in specs if s.shared)
+    assert shared / total > 0.60  # §7: "more than 60 %"
+
+
+def test_minimum_size_and_vos():
+    specs = synthesize(sites=200, seed=2, min_cpus=4)
+    assert min(s.cpus for s in specs) >= 4
+    assert {s.owner_vo for s in specs} <= set(GRID3_VOS)
+
+
+def test_rejects_impossible_totals():
+    with pytest.raises(ValueError):
+        synthesize(sites=100, total_cpus=50, seed=0)
+    with pytest.raises(ValueError):
+        synthesize(sites=2, seed=0)  # fewer than the anchors
+
+
+def test_site_regions_cover_catalog():
+    specs = synthesize(sites=120, seed=4, regions=6)
+    regions = site_regions(specs)
+    assert set(regions) == {s.name for s in specs}
+    generated = {r for r in regions.values() if r.startswith("net")}
+    assert 1 <= len(generated) <= 6
+
+
+def test_summarize_shape():
+    specs = synthesize(sites=60, seed=1)
+    info = summarize(specs)
+    assert info["sites"] == 60
+    assert info["total_cpus"] == sum(s.cpus for s in specs)
+    assert info["tier1"] == ["BNL_ATLAS", "FNAL_CMS"]
+    assert sum(info["sites_by_vo"].values()) == 60
+
+
+def test_synthetic_policies_restrict_some_generated_shared_sites():
+    specs = synthesize(sites=150, seed=8)
+    policies = synthetic_policies(specs, seed=8)
+    assert set(policies) == {s.name for s in specs}
+    by_name = {s.name: s for s in specs}
+    # Anchor sites keep their paper-catalog base policies (which may
+    # already carry allow-lists); the generator only *adds* allow-lists
+    # to a fraction of the generated shared sites.
+    restricted = {
+        n: p for n, p in policies.items()
+        if n.startswith("SYN") and p.allowed_vos
+    }
+    assert restricted, "some generated sites should carry allow-lists"
+    for name, policy in restricted.items():
+        assert by_name[name].shared
+        assert by_name[name].owner_vo in policy.allowed_vos
+        assert len(policy.allowed_vos) >= 3  # owner + 2-3 guest VOs
+    # Deterministic.
+    again = synthetic_policies(specs, seed=8)
+    assert policies == again
+
+
+def test_tiered_backbone_routes_cross_two_hub_trunks():
+    engine = Engine()
+    network = Network(engine)
+    specs = synthesize(sites=40, seed=3, regions=4)
+    sites = build_sites(engine, network, specs)
+    trunks = wire_backbone(
+        network, sites.values(), regions=site_regions(specs), tiered=True,
+    )
+    # Hub-and-spoke: one trunk per region, not a full mesh.
+    regions = set(site_regions(specs).values())
+    assert len(trunks) == len(regions)
+    assert all(t.startswith("bb-core-") or "-core" in t for t in trunks)
+    inter = None
+    by_region = {}
+    for site in sites.values():
+        by_region.setdefault(site.region, site)
+    two = list(by_region.values())[:2]
+    if len(two) == 2:
+        a, b = two
+        route = a.route_to(b)
+        middle = route[1:-1]
+        assert len(middle) == 2
+        assert all(name in network.links for name in middle)
+    # Intra-region stays edge-only.
+    same = [s for s in sites.values() if s.region == two[0].region]
+    if len(same) >= 2:
+        route = same[0].route_to(same[1])
+        assert route == [same[0].uplink.name, same[1].downlink.name]

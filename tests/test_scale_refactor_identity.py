@@ -1,0 +1,79 @@
+"""Byte-identity of the O(active) scheduling refactor (PR 7).
+
+The scale-out work rewires the per-selection hot path — GIIS sweep
+caching, active-record subsets, bucketed cluster allocation, lazy
+Condor-G throttles — all of which MUST be pure mechanical speedups: a
+27-site paper-catalog run at a pinned seed must produce exactly the
+same simulation, byte for byte.
+
+The sha256 fingerprints below were captured from the *unrefactored*
+tree (commit b2d4b9d) at four pinned configs spanning the interesting
+code paths: plain, exerciser-only, traced + calm failures, and the
+contention scenario with fair-share enforcement.  Any behavioral drift
+in the refactor shows up here as a fingerprint mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.analysis import export_database
+from repro.core.grid3 import Grid3, Grid3Config
+from repro.failures import FailureProfile
+from repro.scenarios import SCENARIOS
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _run_export(cfg: Grid3Config) -> tuple:
+    grid = Grid3(cfg)
+    grid.run_full()
+    return _sha(export_database(grid.acdc_db)), grid
+
+
+def test_plain_run_fingerprint():
+    digest, grid = _run_export(Grid3Config(seed=11, scale=800, duration_days=2))
+    assert len(grid.acdc_db.records()) == 150
+    assert digest == (
+        "7f385a3f049c9ca15dc6c9bb8eefdf0fb813da4fc626f16138665d7cd4217182"
+    )
+
+
+def test_exerciser_run_fingerprint():
+    digest, grid = _run_export(
+        Grid3Config(seed=7, scale=600, duration_days=2, apps=["exerciser"])
+    )
+    assert len(grid.acdc_db.records()) == 14
+    assert digest == (
+        "a16eb5c5bcd656eec5b9c1fe70e7b122475fd6456c255500874907868d8b3f5f"
+    )
+
+
+def test_traced_run_fingerprint(tmp_path):
+    grid = Grid3(Grid3Config(
+        seed=3, scale=400, duration_days=3,
+        failures=FailureProfile.calm(), tracing=True,
+    ))
+    grid.run_full()
+    assert len(grid.acdc_db.records()) == 213
+    assert _sha(export_database(grid.acdc_db)) == (
+        "0629fc8e2b95b9fa34fb37e46cec10ebab760f06cfbd2aa0fa9751bd8a66bc81"
+    )
+    # The span dump is part of the contract too: tracing must observe
+    # exactly the same simulation.
+    from repro.trace import write_jsonl
+    path = tmp_path / "spans.jsonl"
+    write_jsonl(grid.tracer.store, str(path))
+    assert hashlib.sha256(path.read_bytes()).hexdigest() == (
+        "77de616a3bd88a7f8b9b7adac2bfb3af9d3ada98ce392d62476cdf57248673d0"
+    )
+
+
+def test_contention_fairshare_fingerprint():
+    digest, grid = _run_export(SCENARIOS["contention"](seed=42, fair_share=True))
+    assert len(grid.acdc_db.records()) == 60
+    assert digest == (
+        "1c13f68ed356327e6a5c44fd6cbfd0961a861ab54781b3b34f0d734526f55c65"
+    )

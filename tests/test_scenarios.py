@@ -17,7 +17,7 @@ def test_all_scenarios_registered():
     assert set(SCENARIOS) == {
         "sc2003", "full-window", "stabilized-2004",
         "chaos-deployment", "lesson-applied", "paper-timeline",
-        "disk-pressure", "contention",
+        "disk-pressure", "contention", "scale-out",
     }
 
 
