@@ -1,0 +1,92 @@
+"""Grid-as-a-service smoke bench: submit -> result latency and cache-hit
+throughput over real HTTP.
+
+Boots the service on an ephemeral port with one real worker process,
+times (a) a cold submit -> poll -> report round-trip (one full
+simulation behind it) and (b) a burst of identical resubmissions that
+must all be answered from the result cache without running anything.
+Writes ``BENCH_service.json`` so CI keeps a trajectory of both numbers
+and of the cache-hit amplification ratio.
+"""
+
+import json
+import pathlib
+import time
+import urllib.request
+
+from repro import ReproService
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+CONFIG = {"scale": 3000, "duration_days": 0.05, "apps": ["exerciser"],
+          "tracing": True, "seed": 7}
+HOT_REQUESTS = 50
+
+
+def http(method, url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def cold_round_trip(base):
+    """Submit a new config, poll to done, fetch one report page."""
+    start = time.perf_counter()
+    _status, submitted = http("POST", f"{base}/runs", {"config": CONFIG})
+    run_id = submitted["run_id"]
+    while True:
+        _status, view = http("GET", f"{base}/runs/{run_id}")
+        if view["state"] in ("done", "failed"):
+            break
+        time.sleep(0.02)
+    assert view["state"] == "done", view
+    http("GET", f"{base}/runs/{run_id}/report/ops?limit=50")
+    return time.perf_counter() - start
+
+
+def hot_burst(base):
+    """Identical resubmissions: every one must be a cache hit."""
+    start = time.perf_counter()
+    for _ in range(HOT_REQUESTS):
+        status, answer = http("POST", f"{base}/runs", {"config": CONFIG})
+        assert status == 200 and answer["dedup"] == "cached", answer
+    return time.perf_counter() - start
+
+
+def test_service_round_trip_smoke(benchmark):
+    service = ReproService(port=0, workers=1, queue_depth=8).start()
+    results = {}
+    try:
+        base = service.url
+
+        def flow():
+            results["cold_s"] = cold_round_trip(base)
+            results["hot_burst_s"] = hot_burst(base)
+            return results
+
+        benchmark.pedantic(flow, rounds=1, iterations=1)
+        _status, gauges = http("GET", f"{base}/metrics")
+    finally:
+        service.close(drain=True, timeout=60.0)
+
+    # The service's reason to exist: one simulation, many answers.
+    assert gauges["service.queue.executed"] == 1
+    assert gauges["service.cache.hits"] >= HOT_REQUESTS
+
+    cold = results["cold_s"]
+    hot_each = results["hot_burst_s"] / HOT_REQUESTS
+    print(f"\ncold submit->report round-trip: {cold * 1e3:.1f} ms")
+    print(f"cached submit (x{HOT_REQUESTS} avg): {hot_each * 1e3:.2f} ms")
+
+    OUT.write_text(json.dumps({
+        "bench": "service_round_trip",
+        "config": CONFIG,
+        "cold_round_trip_s": round(cold, 4),
+        "hot_requests": HOT_REQUESTS,
+        "hot_request_mean_s": round(hot_each, 6),
+        "cache_speedup": round(cold / max(hot_each, 1e-9), 1),
+        "simulations_executed": gauges["service.queue.executed"],
+        "cache_hits": gauges["service.cache.hits"],
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT.name}")

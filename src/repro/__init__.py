@@ -15,8 +15,12 @@ importable for advanced use (one level deep: ``repro.sim``,
 * :class:`ExperimentSpec` / :func:`run_experiment` — multi-run studies;
 * :class:`UsagePolicy` / :class:`FairShareLedger` — the §5/§7 multi-VO
   policy and fair-share scheduling layer;
-* :class:`ReportRecord` — the shared frozen-dataclass result convention
-  every ops query surface returns;
+* :class:`ReportRecord` / :class:`ReportPage` — the shared
+  frozen-dataclass result convention every ops query surface returns,
+  and its paginated-slice form;
+* :class:`ReproService` / :class:`ServiceApp` — the grid-as-a-service
+  HTTP front end (submit runs, poll, fetch paginated reports, with
+  result caching keyed by :meth:`Grid3Config.canonical_digest`);
 * :mod:`repro.sim` — the simulation kernel;
 * :mod:`repro.fabric` — sites, clusters, storage, WAN;
 * :mod:`repro.middleware` — GSI, GRAM, GridFTP, RLS, MDS, VOMS, Pacman, SRM;
@@ -30,7 +34,7 @@ importable for advanced use (one level deep: ``repro.sim``,
 
 from .core.grid3 import APP_CLASSES, EXERCISER_SITES, Grid3, Grid3Config
 from .core.job import Job, JobSpec, JobState
-from .core.results import ReportRecord
+from .core.results import ReportPage, ReportRecord, paginate
 from .core.runner import Grid3Runner
 from .errors import ConfigurationError, GridError
 from .lab import ExperimentSpec, run_experiment, sweep
@@ -41,6 +45,7 @@ from .scheduling import (
     PolicyEngine,
     UsagePolicy,
 )
+from .service import ReproService, ServiceApp, collect_reports
 
 __version__ = "1.0.0"
 
@@ -59,10 +64,15 @@ __all__ = [
     "JobSpec",
     "JobState",
     "PolicyEngine",
+    "ReportPage",
     "ReportRecord",
+    "ReproService",
     "SCENARIOS",
+    "ServiceApp",
     "UsagePolicy",
     "build_scenario",
+    "collect_reports",
+    "paginate",
     "run_experiment",
     "sweep",
     "__version__",

@@ -12,6 +12,7 @@ Subcommands
 ``data``       run with the managed data subsystem, print storage tables
 ``trace``      run with tracing on; render a job's span tree + phase breakdown
 ``fairshare``  run with fair-share scheduling, print per-VO share accounting
+``serve``      run the grid-as-a-service HTTP API (submit/poll/report)
 
 Examples::
 
@@ -378,6 +379,19 @@ def cmd_fairshare(args, out=print) -> int:
     return 0
 
 
+def cmd_serve(args, out=print) -> int:
+    """Run the HTTP service until interrupted (Ctrl-C drains the queue)."""
+    from .service import serve
+    return serve(
+        port=args.port,
+        workers=args.workers,
+        host=args.host,
+        queue_depth=args.queue_depth,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        out=out,
+    )
+
+
 def cmd_report(args, out=print) -> int:
     from .ops.reports import weekly_report
     grid = _build_grid(args)
@@ -494,6 +508,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the same seed without fair-share "
                              "and contrast per-VO completions")
     p_fair.set_defaults(func=cmd_fairshare)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the grid-as-a-service HTTP API (submit, poll, reports)",
+    )
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (default 8080; 0 = ephemeral)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker processes (default 2)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="max runs queued or running (default 64)")
+    p_serve.add_argument("--cache-mb", type=float, default=64.0,
+                         help="result-cache byte budget in MB (default 64)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_score = sub.add_parser(
         "score", help="score a run against the paper's shape claims"

@@ -22,7 +22,10 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import difflib
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
@@ -281,6 +284,74 @@ class Grid3Config:
                     f"{self.metrics_memory_budget_mb!r}"
                 )
         return self
+
+    def canonical_digest(self) -> str:
+        """A stable content hash of this (validated) configuration.
+
+        Two configs describing the same run — regardless of dict
+        construction order or which defaults were spelled out — produce
+        the same digest, so it serves as a result-cache key: a million
+        identical what-if submissions collapse onto one simulation.
+
+        Only plain data survives canonicalisation (None, bool, int,
+        float, str, dict/list/tuple/set of the same, plus dataclasses
+        such as :class:`FailureProfile` and
+        :class:`~repro.failures.FailureSchedule`).  A knob holding
+        anything else — a lambda, an open handle, a live object — raises
+        :class:`~repro.errors.ConfigurationError` naming the knob, since
+        such a value can neither key a cache nor cross a process
+        boundary to a worker.
+        """
+        from ..errors import ConfigurationError
+
+        def canon(value: object, path: str) -> object:
+            if value is None or isinstance(value, (bool, int, str)):
+                return value
+            if isinstance(value, float):
+                return value
+            if isinstance(value, dict):
+                bad = [k for k in value if not isinstance(k, str)]
+                if bad:
+                    raise ConfigurationError(
+                        f"cannot digest {path}: non-string dict key(s) "
+                        f"{bad!r}"
+                    )
+                return {k: canon(v, f"{path}[{k!r}]") for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [canon(v, f"{path}[{i}]") for i, v in enumerate(value)]
+            if isinstance(value, (set, frozenset)):
+                return sorted(
+                    (canon(v, f"{path}{{...}}") for v in value),
+                    key=repr,
+                )
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                record = {
+                    f.name: canon(getattr(value, f.name), f"{path}.{f.name}")
+                    for f in dataclasses.fields(value)
+                }
+                record["__class__"] = type(value).__name__
+                return record
+            if isinstance(value, FailureSchedule):
+                return {
+                    "__class__": "FailureSchedule",
+                    "eras": [
+                        [switch, canon(profile, f"{path}.eras")]
+                        for switch, profile in value.eras
+                    ],
+                }
+            raise ConfigurationError(
+                f"cannot digest Grid3Config knob {path} = {value!r} "
+                f"({type(value).__name__}): cache keys need plain data "
+                "(None/bool/int/float/str, containers of those, or "
+                "dataclasses like FailureProfile)"
+            )
+
+        self.validate()
+        payload = {
+            f.name: canon(getattr(self, f.name), f.name) for f in fields(self)
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 class Grid3:

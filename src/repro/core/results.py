@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import warnings
-from typing import Any, Dict, Iterator
+from typing import Any, Dict, Iterator, Sequence, Tuple
 
 
 def _jsonable(value: Any) -> Any:
@@ -82,3 +82,63 @@ class ReportRecord:
         """Deprecated: the old dict shape's .get()."""
         self._warn(f".get({key!r})")
         return self.as_dict().get(key, default)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportPage(ReportRecord):
+    """One page of a large report: a slice of rows plus slice/total
+    bookkeeping, so consumers (the HTTP service, CLI tables) can walk a
+    report window by window without the producer ever re-serializing
+    the whole tree.
+
+    ``rows`` holds the page's records — :class:`ReportRecord` instances
+    or plain dicts (the field is named ``rows`` because the deprecated
+    dict-alias surface already claims ``.items()``); ``as_dict()`` emits
+    the wire shape::
+
+        {"items": [...], "total": N, "slice": {"offset": o, "limit": l,
+         "returned": len(items)}}
+
+    Build pages with :func:`paginate`, which slices *first* and only
+    then converts, so serving page 3 of a 100k-row trace report touches
+    ``limit`` rows, not 100k.
+    """
+
+    rows: Tuple[Any, ...]
+    total: int
+    offset: int
+    limit: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        rows = [
+            row.as_dict() if isinstance(row, ReportRecord) else row
+            for row in self.rows
+        ]
+        return {
+            "items": rows,
+            "total": self.total,
+            "slice": {
+                "offset": self.offset,
+                "limit": self.limit,
+                "returned": len(rows),
+            },
+        }
+
+
+def paginate(rows: Sequence[Any], offset: int = 0, limit: int = 500) -> ReportPage:
+    """Slice ``rows`` into a :class:`ReportPage`.
+
+    ``offset`` past the end yields an empty page (``total`` still tells
+    the caller where the end is); a non-positive ``limit`` or negative
+    ``offset`` raises ``ValueError`` — the HTTP layer maps that to 400.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    return ReportPage(
+        rows=tuple(rows[offset:offset + limit]),
+        total=len(rows),
+        offset=offset,
+        limit=limit,
+    )

@@ -1,0 +1,71 @@
+"""Grid-as-a-service: the HTTP front end over the Grid3 simulator.
+
+Grid2003's defining property was that it ran as a persistent, centrally
+operated *service* consumed by applications (§3, §6) — not as scripts
+people re-ran by hand.  This package is that step for the reproduction:
+a stdlib-only HTTP API that accepts simulation requests, runs them on a
+bounded job queue feeding an out-of-process worker pool, caches results
+by the :meth:`~repro.Grid3Config.canonical_digest` of the requested
+``(config, seed)`` — so a million identical what-if queries cost one
+run — and serves the ops/troubleshooting/trace reports as paginated
+sorted-key JSON built from the frozen :class:`~repro.ReportRecord`
+types.
+
+Layering (each module one concern):
+
+* :mod:`~repro.service.schemas` — request parsing/validation (400s);
+* :mod:`~repro.service.store`   — the run registry and state machine;
+* :mod:`~repro.service.cache`   — byte-budgeted LRU result cache;
+* :mod:`~repro.service.queue`   — bounded queue + process worker pool;
+* :mod:`~repro.service.reports` — report payload builders (the byte-
+  identity contract with the ``repro`` facade lives here);
+* :mod:`~repro.service.app`     — routing/dispatch + the HTTP server.
+
+Typical use::
+
+    from repro.service import ReproService
+
+    svc = ReproService(port=8080, workers=4)
+    svc.start()
+    # POST /runs, GET /runs/{id}, GET /runs/{id}/report/ops, ...
+    svc.close(drain=True)
+
+or from a shell: ``python -m repro serve --port 8080 --workers 4``.
+"""
+
+from .app import ReproService, ServiceApp, serve
+from .cache import ResultCache
+from .queue import JobQueue, QueueFullError, execute_run
+from .reports import REPORT_KINDS, collect_reports, summarize_run
+from .schemas import (
+    ApiError,
+    HealthView,
+    RunSubmitted,
+    RunView,
+    SchemaError,
+    parse_pagination,
+    parse_run_request,
+)
+from .store import RunRecord, RunStore
+
+__all__ = [
+    "ApiError",
+    "HealthView",
+    "JobQueue",
+    "QueueFullError",
+    "REPORT_KINDS",
+    "ReproService",
+    "ResultCache",
+    "RunRecord",
+    "RunStore",
+    "RunSubmitted",
+    "RunView",
+    "SchemaError",
+    "ServiceApp",
+    "collect_reports",
+    "execute_run",
+    "parse_pagination",
+    "parse_run_request",
+    "serve",
+    "summarize_run",
+]

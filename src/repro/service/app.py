@@ -1,0 +1,374 @@
+"""Routing/dispatch and the HTTP server for grid-as-a-service.
+
+:class:`ServiceApp` is the pure request handler — ``handle(method,
+path, query, body)`` returns ``(status, json_body)`` and can be unit
+tested without a socket.  :class:`ReproService` wraps it in a
+``ThreadingHTTPServer`` (stdlib only, so tier-1 stays hermetic) on an
+ephemeral or fixed port; :func:`serve` is the blocking CLI entry.
+
+Endpoints::
+
+    POST /runs                         submit (dedup via result cache)
+    GET  /runs                         run listing (paginated)
+    GET  /runs/{id}                    state machine + summary
+    GET  /runs/{id}/report/{kind}      paginated report (ops |
+                                       troubleshooting | trace)
+    GET  /healthz                      liveness
+    GET  /metrics                      service.* counters
+
+The dedup contract (the acceptance criterion): an identical ``(config,
+seed)`` submission never runs a second simulation — it returns the
+first run's id with ``dedup`` set to ``"cached"`` (finished) or
+``"joined"`` (still in flight), observable via the
+``service.queue.executed`` counter.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..core.grid3 import Grid3Config
+from ..core.results import ReportRecord, paginate
+from .cache import ResultCache
+from .queue import JobQueue, QueueFullError, execute_run
+from .reports import REPORT_KINDS
+from .schemas import (
+    ApiError,
+    HealthView,
+    RunSubmitted,
+    SchemaError,
+    parse_pagination,
+    parse_run_request,
+)
+from .store import RunRecord, RunStore
+
+_RUN_PATH = re.compile(r"^/runs/(\d+)$")
+_REPORT_PATH = re.compile(r"^/runs/(\d+)/report/([a-z]+)$")
+
+
+class ServiceApp:
+    """The service brain: store + cache + queue behind a route table."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_depth: int = 64,
+        cache_bytes: int = 64 * 1024 * 1024,
+        pool_factory: Optional[Callable] = None,
+        runner: Callable[[Grid3Config], Dict[str, object]] = execute_run,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        self.store = RunStore(clock=clock)
+        self.cache = ResultCache(cache_bytes)
+        #: Submissions that joined an in-flight identical run.
+        self.joined = 0
+        self._submit_lock = threading.Lock()
+        self.queue = JobQueue(
+            workers=workers,
+            depth=queue_depth,
+            runner=runner,
+            pool_factory=pool_factory,
+            on_start=self.store.mark_running,
+            on_done=self._on_done,
+            on_error=self.store.mark_failed,
+        )
+        # Scrape history: every /metrics hit appends the service.*
+        # gauges as samples, so the estate's MetricStore query surface
+        # (series/window_stats) works on service telemetry too.
+        from ..monitoring.core import MetricStore
+        self.metrics_store = MetricStore()
+
+    # -- queue callbacks ------------------------------------------------------
+    def _on_done(self, record: RunRecord, payload: Dict[str, object]) -> None:
+        nbytes = len(json.dumps(payload, sort_keys=True, default=repr))
+        self.store.mark_done(record, payload, nbytes)
+        for _digest, victim_id in self.cache.put(record.digest,
+                                                 record.run_id, nbytes):
+            self.store.drop_payload(victim_id)
+
+    # -- submission (the dedup path) ------------------------------------------
+    def submit(self, config: Grid3Config) -> Tuple[int, RunSubmitted]:
+        """Dedup-or-enqueue one validated config."""
+        digest = config.canonical_digest()
+        with self._submit_lock:
+            cached_id = self.cache.get(digest)
+            if cached_id is not None:
+                record = self.store.get(cached_id)
+                if record is not None and record.payload is not None:
+                    return 200, RunSubmitted(
+                        run_id=record.run_id, state=record.state,
+                        dedup="cached", digest=digest,
+                    )
+                # Stale cache entry (payload dropped out of band).
+                self.cache.remove(digest)
+            existing = self.store.lookup(digest)
+            if existing is not None and existing.state in ("queued", "running"):
+                self.joined += 1
+                return 202, RunSubmitted(
+                    run_id=existing.run_id, state=existing.state,
+                    dedup="joined", digest=digest,
+                )
+            if existing is not None and existing.state == "failed":
+                # A failed run does not poison the digest forever.
+                self.store.unlink(digest)
+            record = self.store.create(digest, config)
+            try:
+                self.queue.submit(record)
+            except QueueFullError:
+                self.store.mark_failed(record, "rejected: queue full")
+                self.store.unlink(digest)
+                raise
+            return 202, RunSubmitted(
+                run_id=record.run_id, state=record.state,
+                dedup="new", digest=digest,
+            )
+
+    # -- metrics ---------------------------------------------------------------
+    def service_metrics(self) -> Dict[str, float]:
+        """Every ``service.*`` gauge/counter, flat."""
+        out: Dict[str, float] = {}
+        for key, value in self.cache.stats().items():
+            out[f"service.cache.{key}"] = value
+        queue_stats = self.queue.stats()
+        for key in ("depth", "max_depth", "executed", "failed", "rejected"):
+            out[f"service.queue.{key}"] = queue_stats[key]
+        out["service.queue.joined"] = self.joined
+        for key in ("busy", "workers", "utilization"):
+            out[f"service.workers.{key}"] = queue_stats[key]
+        for state, count in self.store.counts().items():
+            out[f"service.runs.{state}"] = count
+        out["service.uptime_s"] = round(self._clock() - self.started_at, 6)
+        return out
+
+    def _scrape(self) -> Dict[str, float]:
+        """Snapshot the gauges and file them into the MetricStore."""
+        from ..monitoring.core import MetricSample
+        gauges = self.service_metrics()
+        now = self._clock() - self.started_at
+        self.metrics_store.extend(
+            MetricSample(now, name, float(value))
+            for name, value in sorted(gauges.items())
+        )
+        return gauges
+
+    # -- the route table -------------------------------------------------------
+    def handle(self, method: str, path: str, query: Dict[str, str],
+               body: bytes) -> Tuple[int, str]:
+        """Dispatch one request; returns ``(status, json_body)``."""
+        try:
+            return self._route(method, path, query, body)
+        except SchemaError as exc:
+            return 400, ApiError(error="bad request", detail=str(exc)).to_json()
+        except QueueFullError as exc:
+            return 429, ApiError(error="queue full", detail=str(exc)).to_json()
+        except Exception as exc:  # noqa: BLE001 - the 500 of last resort
+            return 500, ApiError(
+                error="internal error",
+                detail=f"{type(exc).__name__}: {exc}",
+            ).to_json()
+
+    def _route(self, method: str, path: str, query: Dict[str, str],
+               body: bytes) -> Tuple[int, str]:
+        if path == "/healthz" and method == "GET":
+            return 200, HealthView(
+                status="ok",
+                uptime_s=round(self._clock() - self.started_at, 6),
+                queue_depth=self.queue.depth,
+                workers=self.queue.workers,
+            ).to_json()
+        if path == "/metrics" and method == "GET":
+            return 200, json.dumps(self._scrape(), sort_keys=True)
+        if path == "/runs" and method == "POST":
+            status, submitted = self.submit(parse_run_request(body))
+            return status, submitted.to_json()
+        if path == "/runs" and method == "GET":
+            offset, limit = parse_pagination(query)
+            now = self._clock()
+            views = [r.view(now) for r in self.store.runs()]
+            return 200, paginate(views, offset, limit).to_json()
+        match = _RUN_PATH.match(path)
+        if match and method == "GET":
+            record = self.store.get(int(match.group(1)))
+            if record is None:
+                return 404, ApiError(
+                    error="not found",
+                    detail=f"no run {match.group(1)}",
+                ).to_json()
+            return 200, record.view(self._clock()).to_json()
+        match = _REPORT_PATH.match(path)
+        if match and method == "GET":
+            return self._report(int(match.group(1)), match.group(2), query)
+        if path in ("/healthz", "/metrics", "/runs") or _RUN_PATH.match(path) \
+                or _REPORT_PATH.match(path):
+            return 405, ApiError(
+                error="method not allowed",
+                detail=f"{method} {path}",
+            ).to_json()
+        return 404, ApiError(error="not found", detail=path).to_json()
+
+    def _report(self, run_id: int, kind: str,
+                query: Dict[str, str]) -> Tuple[int, str]:
+        record = self.store.get(run_id)
+        if record is None:
+            return 404, ApiError(
+                error="not found", detail=f"no run {run_id}",
+            ).to_json()
+        if kind not in REPORT_KINDS:
+            return 404, ApiError(
+                error="not found",
+                detail=f"unknown report kind {kind!r}; "
+                       f"one of {list(REPORT_KINDS)}",
+            ).to_json()
+        if record.state == "failed":
+            return 409, ApiError(
+                error="run failed", detail=record.error or "",
+            ).to_json()
+        if record.state != "done":
+            return 409, ApiError(
+                error="run not finished",
+                detail=f"run {run_id} is {record.state}; poll "
+                       f"/runs/{run_id} until done",
+            ).to_json()
+        if record.payload is None:
+            return 410, ApiError(
+                error="result evicted",
+                detail="the result cache dropped this run's payload; "
+                       "resubmit the config to re-run",
+            ).to_json()
+        offset, limit = parse_pagination(query)
+        rows = record.payload["reports"][kind]  # type: ignore[index]
+        return 200, paginate(rows, offset, limit).to_json()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float = 300.0) -> bool:
+        """Shut the queue down (optionally draining accepted work)."""
+        return self.queue.shutdown(drain=drain, timeout=timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket adapter over :meth:`ServiceApp.handle`."""
+
+    app: ServiceApp  # set by ReproService's handler subclass
+    server_version = "repro-grid-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query))
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, payload = self.app.handle(method, split.path, query, body)
+        data = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # requests are observable via /metrics, not stderr noise
+
+
+class ReproService:
+    """The running service: a ThreadingHTTPServer around a ServiceApp.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` —
+    the integration suite's pattern).  ``start()`` serves on a
+    background thread; ``close(drain=True)`` stops intake, lets queued
+    runs finish, and tears the listener down.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_depth: int = 64,
+        cache_bytes: int = 64 * 1024 * 1024,
+        app: Optional[ServiceApp] = None,
+        pool_factory: Optional[Callable] = None,
+    ) -> None:
+        self.app = app if app is not None else ServiceApp(
+            workers=workers, queue_depth=queue_depth,
+            cache_bytes=cache_bytes, pool_factory=pool_factory,
+        )
+
+        class _BoundHandler(_Handler):
+            app = self.app
+
+        self.httpd = ThreadingHTTPServer((host, port), _BoundHandler)
+        self.httpd.daemon_threads = True
+        self.host = host
+        self.port = self.httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                name="repro-service", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: float = 300.0) -> bool:
+        """Graceful shutdown: drain the queue, then stop the listener."""
+        drained = self.app.close(drain=drain, timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return drained
+
+    def serve_forever(self) -> None:
+        """Block in the listener (the CLI path); Ctrl-C drains and exits."""
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.app.close(drain=True)
+            self.httpd.server_close()
+
+
+def serve(
+    port: int = 8080,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    queue_depth: int = 64,
+    cache_bytes: int = 64 * 1024 * 1024,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` body)."""
+    service = ReproService(
+        host=host, port=port, workers=workers,
+        queue_depth=queue_depth, cache_bytes=cache_bytes,
+    )
+    out(f"grid-as-a-service listening on {service.url} "
+        f"({workers} worker(s), queue depth {queue_depth})")
+    out(f"  POST {service.url}/runs              submit a simulation")
+    out(f"  GET  {service.url}/runs/<id>         poll its state")
+    out(f"  GET  {service.url}/runs/<id>/report/ops|troubleshooting|trace")
+    out(f"  GET  {service.url}/healthz | /metrics")
+    service.serve_forever()
+    return 0

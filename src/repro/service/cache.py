@@ -1,0 +1,108 @@
+"""The result cache: LRU over finished-run payloads, under a byte budget.
+
+This is what makes the service cheap under identical load (ROADMAP item
+1's "a million identical what-if queries cost one run"): results are
+keyed by :meth:`Grid3Config.canonical_digest`, so any syntactic spelling
+of the same run hits the same entry.  The cache tracks *which* runs'
+payloads stay resident and how many bytes they hold; the payloads
+themselves live on the :class:`~repro.service.store.RunRecord` — on
+eviction the app drops them there, and an identical future submission
+re-runs.
+
+Hit/miss/eviction counters feed the ``service.cache.*`` metrics the
+``/metrics`` endpoint publishes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+
+class ResultCache:
+    """Byte-budgeted LRU of ``digest -> (run_id, payload_bytes)``."""
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+        self._bytes = 0
+        #: Lookup counters (the dedup proof the acceptance test reads).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookups --------------------------------------------------------------
+    def get(self, digest: str) -> Optional[int]:
+        """The cached run id for ``digest`` (counts a hit/miss and
+        refreshes recency)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry[0]
+
+    def __contains__(self, digest: str) -> bool:
+        """Membership *without* touching the hit/miss counters."""
+        with self._lock:
+            return digest in self._entries
+
+    # -- writes ---------------------------------------------------------------
+    def put(self, digest: str, run_id: int, nbytes: int) -> List[Tuple[str, int]]:
+        """Admit a finished run; return ``(digest, run_id)`` pairs evicted
+        to stay under the byte budget.
+
+        The newest entry always stays, even if it alone exceeds the
+        budget — otherwise an oversized (but just-computed) result would
+        be instantly forgotten and identical submissions would re-run
+        forever.
+        """
+        evicted: List[Tuple[str, int]] = []
+        with self._lock:
+            old = self._entries.pop(digest, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[digest] = (run_id, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                victim_digest, (victim_id, victim_bytes) = \
+                    self._entries.popitem(last=False)
+                self._bytes -= victim_bytes
+                self.evictions += 1
+                evicted.append((victim_digest, victim_id))
+        return evicted
+
+    def remove(self, digest: str) -> None:
+        """Drop one entry (no eviction counter — an explicit removal)."""
+        with self._lock:
+            entry = self._entries.pop(digest, None)
+            if entry is not None:
+                self._bytes -= entry[1]
+
+    # -- stats ----------------------------------------------------------------
+    @property
+    def stored_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """The ``service.cache.*`` counter snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "stored_bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }

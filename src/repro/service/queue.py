@@ -1,0 +1,210 @@
+"""The bounded job queue and its out-of-process worker pool.
+
+Submissions land in a bounded FIFO; ``workers`` dispatcher threads pull
+from it and run each simulation **out of process** on a
+:class:`~concurrent.futures.ProcessPoolExecutor` (the same fan-out
+substrate the lab's :func:`~repro.lab.run_experiment` uses — a Grid3
+run is CPU-bound, so it must not share the server's GIL).  Only plain
+data crosses the boundary: the picklable :class:`~repro.Grid3Config`
+goes out, the JSON-able report payload comes back.
+
+The queue enforces the service's backpressure contract: when
+``depth`` submissions are already queued or running, further submits
+raise :class:`QueueFullError` (the app maps it to 429) instead of
+buffering without bound.  ``shutdown(drain=True)`` stops intake, lets
+every queued run finish, then tears the pool down — the graceful-drain
+path the integration suite exercises.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..core.grid3 import Grid3, Grid3Config
+from ..errors import GridError
+from .reports import collect_reports, summarize_run
+from .store import RunRecord
+
+
+class QueueFullError(GridError):
+    """The bounded queue is at depth; the submission was rejected."""
+
+
+def execute_run(config: Grid3Config) -> Dict[str, object]:
+    """Worker body: one full simulation -> its servable payload.
+
+    Module-level (and taking only a picklable config) so it crosses the
+    process boundary; runs in a pool worker, never in the server
+    process.
+    """
+    grid = Grid3(config)
+    grid.run_full()
+    return {"reports": collect_reports(grid), "summary": summarize_run(grid)}
+
+
+class JobQueue:
+    """Bounded FIFO + dispatcher threads + process worker pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        depth: int = 64,
+        runner: Callable[[Grid3Config], Dict[str, object]] = execute_run,
+        pool_factory: Optional[Callable[[int], Executor]] = None,
+        on_start: Optional[Callable[[RunRecord], None]] = None,
+        on_done: Optional[Callable[[RunRecord, Dict[str, object]], None]] = None,
+        on_error: Optional[Callable[[RunRecord, str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.workers = workers
+        self.max_depth = depth
+        self._runner = runner
+        self._on_start = on_start
+        self._on_done = on_done
+        self._on_error = on_error
+        self._tasks: "_queue.Queue[RunRecord]" = _queue.Queue()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._accepting = True
+        self._pending = 0     # queued + running
+        self._busy = 0        # dispatcher threads mid-run
+        #: Simulations actually executed (the dedup proof: duplicates
+        #: never increment this).
+        self.executed = 0
+        self.failed = 0
+        #: Submissions bounced by the depth bound.
+        self.rejected = 0
+        if pool_factory is None:
+            pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
+        self._pool: Executor = pool_factory(workers)
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"svc-dispatch-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, record: RunRecord) -> None:
+        """Enqueue one run; raises :class:`QueueFullError` at the bound."""
+        with self._lock:
+            if not self._accepting:
+                raise QueueFullError("service is shutting down")
+            if self._pending >= self.max_depth:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"job queue is full ({self.max_depth} runs queued or "
+                    f"running); retry later"
+                )
+            self._pending += 1
+        self._tasks.put(record)
+
+    # -- dispatch -------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                record = self._tasks.get(timeout=0.1)
+            except _queue.Empty:
+                continue
+            try:
+                self._run_one(record)
+            finally:
+                with self._lock:
+                    self._pending -= 1
+                self._tasks.task_done()
+
+    def _run_one(self, record: RunRecord) -> None:
+        with self._lock:
+            self._busy += 1
+        try:
+            if self._on_start is not None:
+                self._on_start(record)
+            future = self._pool.submit(self._runner, record.config)
+            payload = future.result()
+            with self._lock:
+                self.executed += 1
+            if self._on_done is not None:
+                self._on_done(record, payload)
+        except Exception as exc:  # noqa: BLE001 - surfaced on the record
+            with self._lock:
+                self.executed += 1
+                self.failed += 1
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            if self._on_error is not None:
+                self._on_error(record, detail)
+        finally:
+            with self._lock:
+                self._busy -= 1
+
+    # -- observability --------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Runs queued or running right now."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def busy(self) -> int:
+        """Dispatcher threads currently driving a simulation."""
+        with self._lock:
+            return self._busy
+
+    def utilization(self) -> float:
+        """Busy workers as a fraction of the pool."""
+        return self.busy / float(self.workers)
+
+    def stats(self) -> Dict[str, float]:
+        """The ``service.queue.*`` / ``service.workers.*`` snapshot."""
+        with self._lock:
+            return {
+                "depth": self._pending,
+                "max_depth": self.max_depth,
+                "busy": self._busy,
+                "workers": self.workers,
+                "utilization": self._busy / float(self.workers),
+                "executed": self.executed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }
+
+    # -- lifecycle ------------------------------------------------------------
+    def drain(self, timeout: float = 300.0) -> bool:
+        """Block until everything queued or running has finished.
+
+        Returns False if ``timeout`` elapsed first.
+        """
+        deadline = threading.Event()
+        waited = 0.0
+        step = 0.05
+        while waited < timeout:
+            with self._lock:
+                if self._pending == 0 and self._busy == 0:
+                    return True
+            deadline.wait(step)
+            waited += step
+        with self._lock:
+            return self._pending == 0 and self._busy == 0
+
+    def shutdown(self, drain: bool = True, timeout: float = 300.0) -> bool:
+        """Stop intake, optionally drain, stop threads, kill the pool.
+
+        Returns True if every accepted run completed before teardown.
+        """
+        with self._lock:
+            self._accepting = False
+        drained = self.drain(timeout) if drain else False
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        return drained

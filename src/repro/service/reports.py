@@ -1,0 +1,97 @@
+"""Report payload builders: the byte-identity contract with the facade.
+
+A finished run's servable result is built *here*, from the same frozen
+:class:`~repro.core.results.ReportRecord` types the ``repro`` facade
+returns — so JSON served over HTTP is byte-identical to what a local
+same-seed run produces through :func:`collect_reports` + ``paginate``.
+The integration suite pins exactly that equality.
+
+Three report kinds, mirroring the §8 query surfaces:
+
+* ``ops`` — the per-(site, service) availability table
+  (:class:`~repro.services.AvailabilityRow` rows, the iGOC's view);
+* ``troubleshooting`` — per-site GRAM/GridFTP/storage accounting,
+  error-type counts, and worst-site failure rates;
+* ``trace`` — the slowest-traced-jobs ranking
+  (:class:`~repro.ops.results.SlowJobRow`; empty unless the run had
+  ``tracing`` on).
+
+Rows are flattened to plain sorted-key-JSON-able dicts (tagged with
+their record type) so they cross the worker process boundary as data
+and page without re-serializing the whole tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.results import ReportRecord, _jsonable
+
+#: The report kinds `GET /runs/{id}/report/{kind}` serves.
+REPORT_KINDS = ("ops", "troubleshooting", "trace")
+
+
+def _plain(value: object) -> object:
+    """Recursively coerce a value to clean JSON-able plain data."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return _jsonable(value)
+
+
+def _row(record: ReportRecord) -> Dict[str, object]:
+    """One record as a type-tagged plain dict."""
+    out = {"record": type(record).__name__}
+    out.update(_plain(record.as_dict()))
+    return out
+
+
+def collect_reports(grid) -> Dict[str, List[Dict[str, object]]]:
+    """Every servable report for a finished :class:`~repro.Grid3` run.
+
+    Returns ``{kind: [row, ...]}`` for each of :data:`REPORT_KINDS`;
+    row order is deterministic (same-seed runs produce byte-identical
+    report JSON).
+    """
+    ops_api = grid.troubleshooting()
+
+    ops_rows = [_row(r) for r in grid.availability_report()]
+
+    ts_rows: List[Dict[str, object]] = []
+    for site_name in sorted(grid.sites):
+        for query in (ops_api.gram_accounting, ops_api.gridftp_accounting,
+                      ops_api.storage_accounting):
+            record = query(site_name)
+            if record is not None:
+                ts_rows.append(_row(record))
+    for error, count in sorted(ops_api.error_summary().items()):
+        ts_rows.append({"record": "ErrorCount",
+                        "error": str(error), "count": count})
+    for site_name, failure_rate in ops_api.worst_sites():
+        ts_rows.append({"record": "SiteFailureRate", "site": site_name,
+                        "failure_rate": failure_rate})
+
+    trace_rows: List[Dict[str, object]] = []
+    if grid.tracer.enabled:
+        trace_rows = [
+            _row(r) for r in ops_api.slowest_jobs(len(grid.tracer.store))
+        ]
+
+    return {"ops": ops_rows, "troubleshooting": ts_rows, "trace": trace_rows}
+
+
+def summarize_run(grid) -> Dict[str, object]:
+    """The headline numbers `GET /runs/{id}` reports once a run is done."""
+    from ..sim import bytes_to_tb
+
+    db = grid.acdc_db
+    return {
+        "jobs": len(db),
+        "success_rate": db.success_rate(),
+        "cpu_days": db.total_cpu_days(),
+        "data_tb": bytes_to_tb(grid.ledger.total_bytes()),
+        "sim_seconds": grid.engine.now,
+        "sites": len(grid.sites),
+        "traces": len(grid.tracer.store) if grid.tracer.enabled else 0,
+    }

@@ -1,0 +1,174 @@
+"""Request/response schemas for the service HTTP layer.
+
+Requests are parsed and validated *here*, before anything touches the
+queue: a malformed body, an unknown knob, or a bad value raises
+:class:`SchemaError`, which the app maps to a 400 with the message in
+the response body — the §8 "direct information" principle applied to
+the API's own errors.  Responses are frozen dataclasses on the shared
+:class:`~repro.core.results.ReportRecord` convention, so every wire
+payload is sorted-key JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from ..core.grid3 import Grid3Config
+from ..core.results import ReportRecord
+from ..errors import GridError
+
+#: Body keys `POST /runs` accepts.
+_REQUEST_KEYS = ("config", "scenario")
+
+#: Knobs that cannot cross the JSON boundary (they take live objects);
+#: scenarios are the supported way to get non-default values for them.
+_NON_WIRE_KNOBS = ("failures",)
+
+
+class SchemaError(GridError):
+    """A request failed validation; the message is the 400 body."""
+
+
+@dataclass(frozen=True)
+class ApiError(ReportRecord):
+    """The error payload every non-2xx response carries."""
+
+    error: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RunSubmitted(ReportRecord):
+    """`POST /runs` response: where the submission landed.
+
+    ``dedup`` is ``"new"`` (a simulation was enqueued), ``"joined"``
+    (an identical run is already queued/running — same id returned), or
+    ``"cached"`` (an identical run already finished — its result is
+    served without running anything).
+    """
+
+    run_id: int
+    state: str
+    dedup: str
+    digest: str
+
+
+@dataclass(frozen=True)
+class RunView(ReportRecord):
+    """`GET /runs/{id}` response: the run's state machine, observable.
+
+    States walk ``queued -> running -> done | failed``; ``elapsed_s``
+    is wall time since submission (until completion, once finished).
+    """
+
+    run_id: int
+    state: str
+    digest: str
+    elapsed_s: float
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    error: Optional[str]
+    summary: Optional[Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class HealthView(ReportRecord):
+    """`GET /healthz` response."""
+
+    status: str
+    uptime_s: float
+    queue_depth: int
+    workers: int
+
+
+def parse_run_request(body: bytes) -> Grid3Config:
+    """Parse and validate a `POST /runs` body into a :class:`Grid3Config`.
+
+    The body is ``{"config": {<Grid3Config knobs>}}``, optionally with
+    ``"scenario": "<name>"`` to start from a canned scenario config
+    (knobs in ``config`` override it, mirroring the CLI).  Every
+    validation failure raises :class:`SchemaError` with an actionable
+    message; unknown knobs get the same did-you-mean treatment as
+    :meth:`Grid3Config.validate`.
+    """
+    from ..errors import ConfigurationError
+    from ..scenarios import SCENARIOS
+
+    try:
+        payload = json.loads(body or b"{}")
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(_REQUEST_KEYS))
+    if unknown:
+        raise SchemaError(
+            f"unknown request key(s) {unknown!r}; accepted: {list(_REQUEST_KEYS)}"
+        )
+
+    scenario = payload.get("scenario")
+    if scenario is not None:
+        if not isinstance(scenario, str) or scenario not in SCENARIOS:
+            raise SchemaError(
+                f"unknown scenario {scenario!r}; one of {sorted(SCENARIOS)}"
+            )
+        config = SCENARIOS[scenario]()
+    else:
+        config = Grid3Config()
+
+    overrides = payload.get("config", {})
+    if not isinstance(overrides, dict):
+        raise SchemaError(
+            f"'config' must be a JSON object of Grid3Config knobs, got "
+            f"{type(overrides).__name__}"
+        )
+    for knob in _NON_WIRE_KNOBS:
+        if knob in overrides:
+            raise SchemaError(
+                f"knob {knob!r} is not settable over the API (it takes a "
+                f"live object); pick a 'scenario' that configures it"
+            )
+    known = {f.name for f in fields(Grid3Config)}
+    for knob, value in overrides.items():
+        default = getattr(config, knob) if knob in known else None
+        if (
+            isinstance(default, float) and not isinstance(default, bool)
+            and isinstance(value, int) and not isinstance(value, bool)
+        ):
+            # JSON has one number type; accept 14 for a 14.0 knob.
+            value = float(value)
+        setattr(config, knob, value)
+    try:
+        config.validate()
+    except ConfigurationError as exc:
+        raise SchemaError(str(exc)) from exc
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid knob value: {exc}") from exc
+    return config
+
+
+def parse_pagination(
+    query: Dict[str, str], default_limit: int = 500
+) -> Tuple[int, int]:
+    """``?offset=&limit=`` query parameters as validated ints."""
+    def as_int(key: str, default: int) -> int:
+        raw = query.get(key)
+        if raw is None or raw == "":
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise SchemaError(f"{key} must be an integer, got {raw!r}") from exc
+
+    offset = as_int("offset", 0)
+    limit = as_int("limit", default_limit)
+    if offset < 0:
+        raise SchemaError(f"offset must be >= 0, got {offset}")
+    if limit < 1:
+        raise SchemaError(f"limit must be >= 1, got {limit}")
+    return offset, limit

@@ -1,0 +1,164 @@
+"""The completed-run registry: every submission's state machine + results.
+
+One :class:`RunRecord` per *distinct* simulation (dedup means an
+identical resubmission returns the existing record's id rather than
+minting a new one).  The store owns the ``queued -> running -> done |
+failed`` transitions and the digest index the dedup path looks up; the
+byte-budgeted decision of *which* finished payloads stay resident
+belongs to :class:`~repro.service.cache.ResultCache` — when the cache
+evicts a run, the store drops its payload and unlinks the digest so a
+future identical submission re-runs.
+
+All methods are thread-safe: HTTP handler threads and queue dispatcher
+threads touch the same records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.grid3 import Grid3Config
+from .schemas import RunView
+
+#: Legal states, in lifecycle order.
+STATES = ("queued", "running", "done", "failed")
+
+
+class RunRecord:
+    """One submitted simulation: config, state, timestamps, results."""
+
+    __slots__ = (
+        "run_id", "digest", "config", "state", "submitted_at", "started_at",
+        "finished_at", "error", "payload", "payload_bytes",
+    )
+
+    def __init__(self, run_id: int, digest: str, config: Grid3Config,
+                 submitted_at: float) -> None:
+        self.run_id = run_id
+        self.digest = digest
+        self.config = config
+        self.state = "queued"
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        #: ``{"reports": {...}, "summary": {...}}`` once done (and until
+        #: the result cache evicts it).
+        self.payload: Optional[Dict[str, object]] = None
+        self.payload_bytes = 0
+
+    def view(self, now: float) -> RunView:
+        """The wire-shape snapshot of this record."""
+        end = self.finished_at if self.finished_at is not None else now
+        summary = None
+        if self.payload is not None:
+            summary = self.payload.get("summary")  # type: ignore[assignment]
+        return RunView(
+            run_id=self.run_id,
+            state=self.state,
+            digest=self.digest,
+            elapsed_s=round(max(0.0, end - self.submitted_at), 6),
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            summary=summary,
+        )
+
+
+class RunStore:
+    """Registry of every run, with the digest index dedup consults."""
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._runs: Dict[int, RunRecord] = {}
+        self._by_digest: Dict[str, int] = {}
+        self._seq = 0
+
+    # -- creation & lookup --------------------------------------------------
+    def create(self, digest: str, config: Grid3Config) -> RunRecord:
+        """Mint a queued record and index it under ``digest``."""
+        with self._lock:
+            self._seq += 1
+            record = RunRecord(self._seq, digest, config, self._clock())
+            self._runs[record.run_id] = record
+            self._by_digest[digest] = record.run_id
+            return record
+
+    def get(self, run_id: int) -> Optional[RunRecord]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def lookup(self, digest: str) -> Optional[RunRecord]:
+        """The run currently indexed under ``digest`` (dedup target)."""
+        with self._lock:
+            run_id = self._by_digest.get(digest)
+            return self._runs.get(run_id) if run_id is not None else None
+
+    def runs(self) -> List[RunRecord]:
+        """Every record, submission order."""
+        with self._lock:
+            return [self._runs[k] for k in sorted(self._runs)]
+
+    # -- state machine ------------------------------------------------------
+    def mark_running(self, record: RunRecord) -> None:
+        with self._lock:
+            record.state = "running"
+            record.started_at = self._clock()
+
+    def mark_done(self, record: RunRecord, payload: Dict[str, object],
+                  payload_bytes: int) -> None:
+        with self._lock:
+            record.state = "done"
+            record.finished_at = self._clock()
+            record.payload = payload
+            record.payload_bytes = payload_bytes
+
+    def mark_failed(self, record: RunRecord, error: str) -> None:
+        with self._lock:
+            record.state = "failed"
+            record.finished_at = self._clock()
+            record.error = error
+            # A failed digest must not satisfy future dedup lookups as
+            # if it had a result; leave the index pointing here so the
+            # app can see the failure and choose to re-run.
+
+    # -- cache eviction hook -------------------------------------------------
+    def drop_payload(self, run_id: int) -> None:
+        """Forget a finished run's result tree (cache eviction): the
+        record and its metadata stay queryable, but an identical future
+        submission re-runs instead of hitting the cache."""
+        with self._lock:
+            record = self._runs.get(run_id)
+            if record is None:
+                return
+            record.payload = None
+            record.payload_bytes = 0
+            if self._by_digest.get(record.digest) == run_id:
+                del self._by_digest[record.digest]
+
+    def unlink(self, digest: str) -> None:
+        """Remove a digest from the dedup index (e.g. before re-running
+        a previously failed config)."""
+        with self._lock:
+            self._by_digest.pop(digest, None)
+
+    # -- stats ----------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Run counts by state (every state present, zero-filled)."""
+        with self._lock:
+            out = {state: 0 for state in STATES}
+            for record in self._runs.values():
+                out[record.state] += 1
+            out["total"] = len(self._runs)
+            return out
+
+    def now(self) -> float:
+        return self._clock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)

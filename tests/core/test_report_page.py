@@ -1,0 +1,73 @@
+"""ReportPage/paginate: the service's wire-format slice convention."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import ReportPage, ReportRecord, paginate
+
+
+@dataclasses.dataclass(frozen=True)
+class Row(ReportRecord):
+    site: str
+    jobs: int
+
+
+ROWS = [Row(site=f"site-{i}", jobs=i) for i in range(7)]
+
+
+def test_paginate_slices_and_counts():
+    page = paginate(ROWS, offset=2, limit=3)
+    assert isinstance(page, ReportPage)
+    assert page.total == 7
+    shape = page.as_dict()
+    assert shape["slice"] == {"offset": 2, "limit": 3, "returned": 3}
+    assert [row["site"] for row in shape["items"]] == \
+        ["site-2", "site-3", "site-4"]
+
+
+def test_paginate_past_the_end_is_empty_not_an_error():
+    page = paginate(ROWS, offset=100, limit=10)
+    assert page.as_dict()["items"] == []
+    assert page.total == 7
+
+
+def test_paginate_accepts_plain_dict_rows():
+    page = paginate([{"a": 1}, {"a": 2}], offset=0, limit=10)
+    assert page.as_dict()["items"] == [{"a": 1}, {"a": 2}]
+
+
+def test_paginated_walk_reassembles_the_full_report():
+    walked = []
+    offset = 0
+    while True:
+        shape = paginate(ROWS, offset=offset, limit=2).as_dict()
+        walked += shape["items"]
+        offset += shape["slice"]["returned"]
+        if offset >= shape["total"]:
+            break
+    assert walked == [row.as_dict() for row in ROWS]
+
+
+def test_page_json_is_sorted_and_stable():
+    text = paginate(ROWS, offset=0, limit=2).to_json()
+    parsed = json.loads(text)
+    assert list(parsed) == sorted(parsed)
+    assert text == paginate(ROWS, offset=0, limit=2).to_json()
+
+
+@pytest.mark.parametrize("offset,limit", [(-1, 5), (0, 0), (0, -3)])
+def test_paginate_rejects_bad_bounds(offset, limit):
+    with pytest.raises(ValueError):
+        paginate(ROWS, offset=offset, limit=limit)
+
+
+def test_span_stays_slotted():
+    """ROADMAP item: Span must hold no per-instance __dict__ — traces
+    dominate heap at scale, so this is pinned against regression."""
+    from repro.trace.spans import Span
+    assert hasattr(Span, "__slots__")
+    assert not hasattr(
+        Span(None, 1, 1, None, "job", "compute", 0.0, {}), "__dict__",
+    )

@@ -1,0 +1,211 @@
+"""ServiceApp routing: dedup, status codes, pagination, metrics — no sockets."""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import Grid3Config, ServiceApp
+
+
+def fake_payload(config):
+    """A runner stub shaped like execute_run's payload, instant."""
+    rows = [{"record": "Row", "site": f"site-{i}", "seed": config.seed}
+            for i in range(5)]
+    return {
+        "reports": {"ops": rows, "troubleshooting": [], "trace": []},
+        "summary": {"jobs": 5, "seed": config.seed},
+    }
+
+
+@pytest.fixture
+def app():
+    instance = ServiceApp(
+        workers=1, queue_depth=4, cache_bytes=1024 * 1024,
+        pool_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        runner=fake_payload,
+    )
+    yield instance
+    instance.close(drain=True, timeout=10.0)
+
+
+def call(app, method, path, query=None, body=b""):
+    status, payload = app.handle(method, path, query or {}, body)
+    return status, json.loads(payload)
+
+
+def submit(app, seed=1):
+    return call(app, "POST", "/runs",
+                body=json.dumps({"config": {"seed": seed}}).encode())
+
+
+def wait_done(app, run_id, timeout=10.0):
+    assert app.queue.drain(timeout=timeout)
+    status, view = call(app, "GET", f"/runs/{run_id}")
+    assert status == 200 and view["state"] == "done", view
+    return view
+
+
+def test_submit_poll_report_roundtrip(app):
+    status, sub = submit(app, seed=3)
+    assert status == 202 and sub["dedup"] == "new"
+    view = wait_done(app, sub["run_id"])
+    assert view["summary"]["seed"] == 3
+    status, page = call(app, "GET", f"/runs/{sub['run_id']}/report/ops",
+                        query={"offset": "1", "limit": "2"})
+    assert status == 200
+    assert page["total"] == 5
+    assert page["slice"] == {"offset": 1, "limit": 2, "returned": 2}
+    assert [row["site"] for row in page["items"]] == ["site-1", "site-2"]
+
+
+def test_duplicate_submit_never_reruns(app):
+    status, first = submit(app, seed=7)
+    assert status == 202
+    wait_done(app, first["run_id"])
+    status, again = submit(app, seed=7)
+    assert status == 200
+    assert again["dedup"] == "cached"
+    assert again["run_id"] == first["run_id"]
+    # The acceptance criterion: one simulation executed, ever.
+    assert app.service_metrics()["service.queue.executed"] == 1
+    assert app.service_metrics()["service.cache.hits"] == 1
+
+
+def test_inflight_duplicate_joins(app):
+    gate = threading.Event()
+    app.queue._runner = lambda config: (gate.wait(10.0), fake_payload(config))[1]
+    status, first = submit(app, seed=5)
+    assert status == 202 and first["dedup"] == "new"
+    status, joined = submit(app, seed=5)
+    assert status == 202 and joined["dedup"] == "joined"
+    assert joined["run_id"] == first["run_id"]
+    gate.set()
+    wait_done(app, first["run_id"])
+    metrics = app.service_metrics()
+    assert metrics["service.queue.executed"] == 1
+    assert metrics["service.queue.joined"] == 1
+
+
+def test_failed_run_reports_409_and_digest_can_rerun(app):
+    calls = []
+
+    def flaky(config):
+        calls.append(1)
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return fake_payload(config)
+
+    app.queue._runner = flaky
+    _, first = submit(app, seed=9)
+    assert app.queue.drain(timeout=10.0)
+    status, view = call(app, "GET", f"/runs/{first['run_id']}")
+    assert view["state"] == "failed" and "transient" in view["error"]
+    status, body = call(app, "GET", f"/runs/{first['run_id']}/report/ops")
+    assert status == 409 and body["error"] == "run failed"
+    # A failed digest does not poison dedup: resubmission re-runs.
+    status, second = submit(app, seed=9)
+    assert status == 202 and second["dedup"] == "new"
+    assert second["run_id"] != first["run_id"]
+    wait_done(app, second["run_id"])
+
+
+def test_report_before_done_is_409(app):
+    gate = threading.Event()
+    app.queue._runner = lambda config: (gate.wait(10.0), fake_payload(config))[1]
+    _, sub = submit(app, seed=2)
+    status, body = call(app, "GET", f"/runs/{sub['run_id']}/report/ops")
+    assert status == 409 and body["error"] == "run not finished"
+    gate.set()
+    wait_done(app, sub["run_id"])
+
+
+def test_evicted_payload_is_410_and_resubmit_reruns(app):
+    _, sub = submit(app, seed=4)
+    wait_done(app, sub["run_id"])
+    # Simulate the cache dropping this run out from under the store.
+    app.cache.remove(app.store.get(sub["run_id"]).digest)
+    app.store.drop_payload(sub["run_id"])
+    status, body = call(app, "GET", f"/runs/{sub['run_id']}/report/ops")
+    assert status == 410 and body["error"] == "result evicted"
+    status, again = submit(app, seed=4)
+    assert status == 202 and again["dedup"] == "new"
+    wait_done(app, again["run_id"])
+    assert app.service_metrics()["service.queue.executed"] == 2
+
+
+def test_queue_full_maps_to_429(app):
+    gate = threading.Event()
+    app.queue._runner = lambda config: (gate.wait(10.0), fake_payload(config))[1]
+    seeds = iter(range(100))
+    statuses = []
+    while True:
+        status, body = submit(app, seed=next(seeds))
+        statuses.append(status)
+        if status == 429:
+            break
+        assert len(statuses) < 20, "queue depth bound never hit"
+    assert body["error"] == "queue full"
+    # The rejected submission is not left indexed: the same config can
+    # be resubmitted once the queue clears.
+    gate.set()
+    assert app.queue.drain(timeout=10.0)
+
+
+def test_malformed_body_is_400(app):
+    status, body = call(app, "POST", "/runs", body=b"{nope")
+    assert status == 400 and body["error"] == "bad request"
+    status, body = call(
+        app, "POST", "/runs",
+        body=json.dumps({"config": {"scal": 2}}).encode(),
+    )
+    assert status == 400 and "did you mean 'scale'" in body["detail"]
+
+
+def test_unknown_paths_and_methods(app):
+    assert call(app, "GET", "/nope")[0] == 404
+    assert call(app, "GET", "/runs/999")[0] == 404
+    assert call(app, "GET", "/runs/1/report/nope")[0] == 404
+    assert call(app, "POST", "/healthz")[0] == 405
+    assert call(app, "DELETE", "/runs")[0] == 405
+
+
+def test_healthz_and_runs_listing(app):
+    status, health = call(app, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+    assert health["workers"] == 1
+    _, a = submit(app, seed=1)
+    wait_done(app, a["run_id"])
+    submit(app, seed=2)
+    assert app.queue.drain(timeout=10.0)
+    status, page = call(app, "GET", "/runs", query={"limit": "1"})
+    assert status == 200 and page["total"] == 2
+    assert page["items"][0]["run_id"] == 1
+
+
+def test_metrics_scrape_feeds_metric_store(app):
+    _, sub = submit(app, seed=1)
+    wait_done(app, sub["run_id"])
+    status, gauges = call(app, "GET", "/metrics")
+    assert status == 200
+    assert gauges["service.runs.done"] == 1
+    assert gauges["service.queue.executed"] == 1
+    assert gauges["service.cache.entries"] == 1
+    # Scrapes append history into the estate's MetricStore surface.
+    call(app, "GET", "/metrics")
+    _times, values = app.metrics_store.series("service.queue.executed")
+    assert list(values) == [1.0, 1.0]
+
+
+def test_cache_eviction_drops_store_payload(app):
+    app.cache.max_bytes = 1  # next put evicts everything else
+    _, a = submit(app, seed=1)
+    wait_done(app, a["run_id"])
+    _, b = submit(app, seed=2)
+    wait_done(app, b["run_id"])
+    assert app.store.get(a["run_id"]).payload is None
+    status, _body = call(app, "GET", f"/runs/{a['run_id']}/report/ops")
+    assert status == 410
+    # The newest result is still servable.
+    assert call(app, "GET", f"/runs/{b['run_id']}/report/ops")[0] == 200

@@ -1,0 +1,146 @@
+"""ResultCache LRU/byte-budget behaviour and RunStore's state machine."""
+
+import pytest
+
+from repro import Grid3Config
+from repro.service import ResultCache
+from repro.service.store import RunStore
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+# -- ResultCache ---------------------------------------------------------------
+
+def test_cache_hit_miss_counters():
+    cache = ResultCache(max_bytes=100)
+    assert cache.get("a") is None
+    cache.put("a", 1, 10)
+    assert cache.get("a") == 1
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_cache_contains_does_not_count():
+    cache = ResultCache(max_bytes=100)
+    cache.put("a", 1, 10)
+    assert "a" in cache and "b" not in cache
+    stats = cache.stats()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+def test_cache_evicts_lru_under_byte_budget():
+    cache = ResultCache(max_bytes=30)
+    cache.put("a", 1, 10)
+    cache.put("b", 2, 10)
+    cache.put("c", 3, 10)
+    assert cache.stored_bytes == 30 and len(cache) == 3
+    # Touch "a" so "b" is the least recently used.
+    assert cache.get("a") == 1
+    evicted = cache.put("d", 4, 10)
+    assert evicted == [("b", 2)]
+    assert "a" in cache and "c" in cache and "d" in cache
+    assert cache.stats()["evictions"] == 1
+
+
+def test_cache_keeps_oversize_newest_entry():
+    cache = ResultCache(max_bytes=10)
+    cache.put("small", 1, 5)
+    evicted = cache.put("huge", 2, 50)
+    assert ("small", 1) in evicted
+    assert "huge" in cache  # never instantly forgotten
+    assert cache.stored_bytes == 50
+
+
+def test_cache_put_same_digest_replaces_bytes():
+    cache = ResultCache(max_bytes=100)
+    cache.put("a", 1, 10)
+    cache.put("a", 1, 30)
+    assert cache.stored_bytes == 30 and len(cache) == 1
+
+
+def test_cache_remove_is_not_an_eviction():
+    cache = ResultCache(max_bytes=100)
+    cache.put("a", 1, 10)
+    cache.remove("a")
+    cache.remove("ghost")  # no-op
+    assert len(cache) == 0 and cache.stored_bytes == 0
+    assert cache.stats()["evictions"] == 0
+
+
+def test_cache_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        ResultCache(max_bytes=0)
+
+
+# -- RunStore ------------------------------------------------------------------
+
+def test_store_lifecycle_and_views():
+    clock = FakeClock()
+    store = RunStore(clock=clock)
+    record = store.create("d1", Grid3Config())
+    assert record.run_id == 1 and record.state == "queued"
+    assert store.lookup("d1") is record
+    clock.tick()
+    store.mark_running(record)
+    clock.tick()
+    store.mark_done(record, {"reports": {}, "summary": {"jobs": 3}}, 42)
+    view = record.view(clock())
+    assert view.state == "done"
+    assert view.summary == {"jobs": 3}
+    assert view.elapsed_s == pytest.approx(2.0)
+    assert store.counts() == {
+        "queued": 0, "running": 0, "done": 1, "failed": 0, "total": 1,
+    }
+
+
+def test_store_mark_failed_records_error():
+    store = RunStore(clock=FakeClock())
+    record = store.create("d1", Grid3Config())
+    store.mark_failed(record, "boom")
+    assert record.state == "failed" and record.error == "boom"
+    # The digest still resolves, so the app can see the failure.
+    assert store.lookup("d1") is record
+
+
+def test_store_drop_payload_unlinks_digest():
+    store = RunStore(clock=FakeClock())
+    record = store.create("d1", Grid3Config())
+    store.mark_done(record, {"reports": {}, "summary": {}}, 42)
+    store.drop_payload(record.run_id)
+    assert record.payload is None and record.payload_bytes == 0
+    assert store.lookup("d1") is None      # identical resubmits re-run
+    assert store.get(record.run_id) is record  # metadata stays queryable
+    store.drop_payload(999)  # unknown id is a no-op
+
+
+def test_store_drop_payload_spares_newer_digest_owner():
+    store = RunStore(clock=FakeClock())
+    old = store.create("d1", Grid3Config())
+    store.unlink("d1")
+    new = store.create("d1", Grid3Config())
+    store.drop_payload(old.run_id)
+    # The index still points at the newer record.
+    assert store.lookup("d1") is new
+
+
+def test_store_runs_in_submission_order():
+    store = RunStore(clock=FakeClock())
+    ids = [store.create(f"d{i}", Grid3Config()).run_id for i in range(3)]
+    assert [r.run_id for r in store.runs()] == ids == [1, 2, 3]
+    assert len(store) == 3
+
+
+def test_run_record_is_slotted():
+    store = RunStore(clock=FakeClock())
+    record = store.create("d1", Grid3Config())
+    with pytest.raises(AttributeError):
+        record.arbitrary = 1

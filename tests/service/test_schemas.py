@@ -1,0 +1,96 @@
+"""Request validation: every malformed submission maps to a SchemaError."""
+
+import json
+
+import pytest
+
+from repro import Grid3Config
+from repro.service import SchemaError, parse_pagination, parse_run_request
+
+
+def body(**payload):
+    return json.dumps(payload).encode()
+
+
+def test_empty_body_is_default_config():
+    config = parse_run_request(b"")
+    assert isinstance(config, Grid3Config)
+    assert config.seed == Grid3Config().seed
+
+
+def test_config_knobs_land():
+    config = parse_run_request(body(config={
+        "scale": 3000, "duration_days": 0.05, "seed": 9,
+        "apps": ["exerciser"], "tracing": True,
+    }))
+    assert config.seed == 9
+    assert config.apps == ["exerciser"]
+    assert config.tracing is True
+    # JSON integers are accepted for float knobs.
+    assert config.scale == 3000.0 and isinstance(config.scale, float)
+
+
+def test_scenario_base_with_overrides():
+    config = parse_run_request(body(scenario="contention",
+                                    config={"seed": 11}))
+    assert config.fair_share is True  # the contention scenario's point
+    assert config.seed == 11
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SchemaError, match="unknown scenario"):
+        parse_run_request(body(scenario="no-such-era"))
+
+
+def test_unknown_top_level_key_rejected():
+    with pytest.raises(SchemaError, match="unknown request key"):
+        parse_run_request(body(cfg={"scale": 5}))
+
+
+def test_unknown_knob_gets_suggestion():
+    with pytest.raises(SchemaError, match="did you mean 'scale'"):
+        parse_run_request(body(config={"scal": 5}))
+
+
+def test_bad_knob_value_rejected():
+    with pytest.raises(SchemaError, match="must be positive"):
+        parse_run_request(body(config={"scale": -1}))
+
+
+def test_non_json_body_rejected():
+    with pytest.raises(SchemaError, match="not valid JSON"):
+        parse_run_request(b"{nope")
+
+
+def test_non_object_body_rejected():
+    with pytest.raises(SchemaError, match="must be a JSON object"):
+        parse_run_request(b"[1, 2]")
+
+
+def test_failures_knob_not_settable_over_wire():
+    with pytest.raises(SchemaError, match="not settable over the API"):
+        parse_run_request(body(config={"failures": {"node_mtbf": 1}}))
+
+
+def test_config_must_be_object():
+    with pytest.raises(SchemaError, match="'config' must be a JSON object"):
+        parse_run_request(body(config=[1]))
+
+
+def test_pagination_defaults_and_parsing():
+    assert parse_pagination({}) == (0, 500)
+    assert parse_pagination({"offset": "10", "limit": "3"}) == (10, 3)
+
+
+@pytest.mark.parametrize("query", [
+    {"offset": "-1"}, {"limit": "0"}, {"offset": "x"}, {"limit": "1.5"},
+])
+def test_pagination_rejects_bad_values(query):
+    with pytest.raises(SchemaError):
+        parse_pagination(query)
+
+
+def test_validated_request_digests_stably():
+    one = parse_run_request(body(config={"seed": 5, "scale": 100}))
+    two = parse_run_request(body(config={"scale": 100, "seed": 5}))
+    assert one.canonical_digest() == two.canonical_digest()

@@ -85,7 +85,7 @@ def test_public_api_exports_resolve():
         assert hasattr(repro, name), name
     for subpackage in ("sim", "fabric", "middleware", "scheduling",
                        "workflow", "monitoring", "apps", "failures",
-                       "ops", "analysis", "lab"):
+                       "ops", "analysis", "lab", "service"):
         module = importlib.import_module(f"repro.{subpackage}")
         for name in getattr(module, "__all__", []):
             assert hasattr(module, name), f"repro.{subpackage}.{name}"
