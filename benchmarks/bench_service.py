@@ -66,7 +66,7 @@ def test_service_round_trip_smoke(benchmark):
             return results
 
         benchmark.pedantic(flow, rounds=1, iterations=1)
-        _status, gauges = http("GET", f"{base}/metrics")
+        _status, gauges = http("GET", f"{base}/metrics?format=json")
     finally:
         service.close(drain=True, timeout=60.0)
 

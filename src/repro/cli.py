@@ -13,6 +13,11 @@ Subcommands
 ``trace``      run with tracing on; render a job's span tree + phase breakdown
 ``fairshare``  run with fair-share scheduling, print per-VO share accounting
 ``serve``      run the grid-as-a-service HTTP API (submit/poll/report)
+``alerts``     run with the iGOC alert engine; print firings + tickets
+               (``--lint`` checks the shipped rule sets, ``--url``
+               queries a live service's /alerts)
+``top``        live terminal dashboard for a run on a service (SSE
+               stream; ``--poll`` uses the ?since= delta poll)
 
 Examples::
 
@@ -392,6 +397,114 @@ def cmd_serve(args, out=print) -> int:
     )
 
 
+def cmd_alerts(args, out=print) -> int:
+    """In-sim alert/ticket loop, rule-set lint, or live /alerts query."""
+    from .ops.alerts import default_rules, lint_rules, service_rules
+
+    if args.url:
+        import json as _json
+        from urllib.request import urlopen
+        with urlopen(args.url.rstrip("/") + "/alerts", timeout=10) as resp:
+            payload = _json.loads(resp.read().decode("utf-8"))
+        rows = payload["rules"]
+        out(render_table(
+            ["rule", "metric", "severity", "firing", "value", "threshold"],
+            [(r["name"], r["metric"], r["severity"],
+              "FIRING" if r["firing"] else "ok",
+              "-" if r["value"] is None else f"{r['value']:g}",
+              f"{r['threshold']:g}")
+             for r in rows],
+        ))
+        out(f"\n{payload['firing']} of {len(rows)} rule(s) firing")
+        return 1 if payload["firing"] else 0
+
+    if args.lint:
+        # Real metric names: a tiny simulation for the in-sim estate
+        # (long enough for the hourly service-health cadence to have
+        # produced samples), a real (idle) ServiceApp for the service
+        # scrape names.
+        grid = Grid3(Grid3Config(
+            seed=args.seed, scale=3000.0, duration_days=0.25,
+            apps=["exerciser"],
+        ))
+        grid.run_full()
+        sim_names = grid.monitors["service-health"].store.names()
+        problems = lint_rules(default_rules(), sim_names)
+        from .service.app import ServiceApp
+        app = ServiceApp(workers=1, queue_depth=8)
+        try:
+            service_names = list(app.service_metrics())
+        finally:
+            app.close(drain=False)
+        problems += lint_rules(service_rules(8, 1), service_names)
+        for problem in problems:
+            out(f"LINT: {problem}")
+        total = len(default_rules()) + len(service_rules(8, 1))
+        if problems:
+            out(f"{len(problems)} problem(s) in {total} shipped rule(s)")
+            return 1
+        out(f"{total} shipped alert rule(s) lint clean")
+        return 0
+
+    grid = _build_grid(args)
+    grid.config.alerts = True
+    # Config edits above must land before construction side-effects; the
+    # builder read them in __init__, so rebuild with the final config.
+    grid = Grid3(grid.config)
+    grid.run_full()
+    engine = grid.alert_monitor.alert_engine
+    out(render_table(
+        ["rule", "metric", "severity", "firing", "transitions"],
+        [(row.name, row.metric, row.severity,
+          "FIRING" if row.firing else "ok", row.transitions)
+         for row in engine.status_rows()],
+    ))
+    if engine.history:
+        out("\nalert transitions:")
+        out(render_table(
+            ["sim day", "rule", "event", "value"],
+            [(f"{t.time / DAY:.2f}", t.rule, t.event,
+              "-" if t.value is None else f"{t.value:.3f}")
+             for t in engine.history],
+        ))
+    else:
+        out("\nno alert transitions (the grid stayed inside every rule)")
+    tickets = grid.igoc.tickets.all_tickets(site="grid")
+    out(f"\n{len(tickets)} alert ticket(s) opened; "
+        f"{sum(1 for t in tickets if t.resolved_at >= 0)} resolved")
+    return 0
+
+
+def cmd_top(args, out=print) -> int:
+    """Render a run's live progress stream as a terminal dashboard."""
+    import json as _json
+    import time as _time
+    from urllib.request import urlopen
+
+    from .monitoring.progress import render_progress_line
+    from .service.progress import iter_sse_events
+
+    base = args.url.rstrip("/")
+    if args.poll:
+        since = -1
+        while True:
+            with urlopen(f"{base}/runs/{args.run_id}/events?since={since}",
+                         timeout=30) as resp:
+                payload = _json.loads(resp.read().decode("utf-8"))
+            for event in payload["events"]:
+                out(render_progress_line(event))
+            since = payload["next_since"]
+            if payload["closed"]:
+                out(f"run {args.run_id} finished ({payload['state']})")
+                return 0
+            _time.sleep(args.interval)
+    with urlopen(f"{base}/runs/{args.run_id}/events", timeout=60) as resp:
+        for event in iter_sse_events(resp):
+            out(render_progress_line(event))
+    out(f"run {args.run_id} finished")
+    return 0
+
+
 def cmd_report(args, out=print) -> int:
     from .ops.reports import weekly_report
     grid = _build_grid(args)
@@ -524,6 +637,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-mb", type=float, default=64.0,
                          help="result-cache byte budget in MB (default 64)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_alerts = sub.add_parser(
+        "alerts",
+        help="run with the iGOC alert engine and print firings/tickets; "
+             "--lint checks the shipped rule sets; --url queries a live "
+             "service",
+    )
+    _add_run_options(p_alerts)
+    p_alerts.add_argument("--lint", action="store_true",
+                          help="validate the shipped rule sets against the "
+                               "real metric namespaces and exit")
+    p_alerts.add_argument("--url", default=None,
+                          help="query a running service's /alerts instead "
+                               "of simulating")
+    p_alerts.set_defaults(func=cmd_alerts)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live progress dashboard for a run on a running service",
+    )
+    p_top.add_argument("run_id", type=int, help="run id to watch")
+    p_top.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="service base URL (default http://127.0.0.1:8080)")
+    p_top.add_argument("--poll", action="store_true",
+                       help="use the ?since= delta poll instead of SSE")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="poll interval in seconds (default 1)")
+    p_top.set_defaults(func=cmd_top)
 
     p_score = sub.add_parser(
         "score", help="score a run against the paper's shape claims"

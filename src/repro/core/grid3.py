@@ -175,6 +175,15 @@ class Grid3Config:
     #: probes the anchor + largest sites.  The generator defaults its
     #: ``seed`` to this config's seed.
     fabric: object = None
+    #: iGOC alerting (the §5.2/§5.4 telemetry -> ticket loop): run the
+    #: declarative AlertRule set against the service-health estate; a
+    #: firing rule opens an iGOC trouble ticket, a clearing one
+    #: resolves it.  Off by default — a same-seed run with it off is
+    #: byte-identical to a pre-alerting build (the monitor adds
+    #: periodic events when on).
+    alerts: bool = False
+    #: Alert evaluation cadence in hours (sim time).
+    alert_interval_hours: float = 1.0
     #: Global monitoring memory budget (MB).  When set, one
     #: :class:`~repro.monitoring.MemoryGovernor` spans every MetricStore
     #: in the estate: when the live sample pool would exceed the budget,
@@ -215,7 +224,7 @@ class Grid3Config:
                     f"{_suggest(value, allowed)}"
                 )
         for knob in ("scale", "duration_days", "disk_scale",
-                     "fair_share_half_life_hours"):
+                     "fair_share_half_life_hours", "alert_interval_hours"):
             value = getattr(self, knob)
             if not value > 0:
                 raise ConfigurationError(f"{knob} must be positive, got {value!r}")
@@ -495,6 +504,8 @@ class Grid3:
         self.monitors: Dict[str, object] = {}
         self.injector: Optional[FailureInjector] = None
         self.ops_team: Optional[OperationsTeam] = None
+        #: iGOC alert loop (deploy() builds it when ``alerts`` is on).
+        self.alert_monitor = None
         #: Fair-share layer (deploy() builds these when fair_share is on).
         self.fairshare = None
         self.policy_engine = None
@@ -623,6 +634,19 @@ class Grid3:
         if cfg.ops_team:
             self.ops_team = OperationsTeam(self.engine, self.igoc, sites, self.rng)
         self.injector = FailureInjector(self.engine, sites, self.rng, cfg.failures)
+
+        # Alerting/SLO loop (§5.2/§5.4): declarative rules over the
+        # monitoring estate; firing opens iGOC tickets, clearing
+        # resolves them.  Gated — the monitor's periodic process adds
+        # events, so default runs stay byte-identical with it off.
+        if cfg.alerts:
+            from ..ops.alerts import AlertMonitor, default_rules
+            from ..sim.units import HOUR as _AH
+            self.alert_monitor = AlertMonitor(
+                self.engine, self.igoc, default_rules(),
+                stores={"service-health": service_health.store},
+                interval=cfg.alert_interval_hours * _AH,
+            )
 
         # Per-VO submit infrastructure.
         throttle = max(2, int(round(cfg.per_site_throttle / max(1.0, cfg.scale / 50))))
@@ -756,13 +780,42 @@ class Grid3:
         horizon = self.engine.now + days * DAY if days is not None else self.duration
         self.engine.run(until=horizon)
 
-    def run_full(self) -> None:
-        """deploy + start apps + simulate the whole window + drain."""
+    def run_full(self, progress=None, progress_slices: Optional[int] = None) -> None:
+        """deploy + start apps + simulate the whole window + drain.
+
+        With ``progress`` (a callable taking one
+        :class:`~repro.monitoring.progress.ProgressEvent`), the window
+        is simulated in ``progress_slices`` sliced ``engine.run(until=)``
+        calls with a snapshot emitted after each — the kernel dispatches
+        the identical event sequence either way, so a progress-observed
+        run is byte-identical to a silent one.  Without it, this is
+        exactly the pre-observability code path.
+        """
+        if progress is None:
+            self.deploy()
+            self.start_applications()
+            self.run()
+            # Final monitoring sweep so analysis sees everything.
+            self.monitors["acdc"].poll_once()
+            return
+        from ..monitoring.progress import DEFAULT_SLICES, ProgressMeter
+        meter = ProgressMeter(
+            self, progress,
+            slices=progress_slices if progress_slices else DEFAULT_SLICES,
+        )
         self.deploy()
+        meter.emit("phase", "deploy")
         self.start_applications()
-        self.run()
-        # Final monitoring sweep so analysis sees everything.
+        meter.emit("phase", "apps")
+        for horizon in meter.horizons():
+            # Deployment consumes sim time, so early horizons can
+            # already be behind the clock; the tick still fires (the
+            # emitted count stays a pure function of the slice count).
+            if horizon > self.engine.now:
+                self.engine.run(until=horizon)
+            meter.emit("tick", "sim")
         self.monitors["acdc"].poll_once()
+        meter.emit("end", "done")
 
     # -- analysis ----------------------------------------------------------------
     @property

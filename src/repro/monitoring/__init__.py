@@ -12,6 +12,8 @@ from .core import (
 from .ganglia import GangliaAgent, GangliaWeb
 from .mdviewer import MDViewer
 from .monalisa import MonALISAAgent, MonALISARepository
+from .progress import ProgressEvent, ProgressMeter, render_progress_line, slice_times
+from .prometheus import grid_exposition, render_flat, render_line, render_store
 from .rrd import RoundRobinDatabase
 from .servicehealth import ServiceHealthAgent
 from .sitecatalog import ProbeResult, SiteStatusCatalog, probe_site
@@ -32,6 +34,8 @@ __all__ = [
     "MonALISARepository",
     "PeriodicProducer",
     "ProbeResult",
+    "ProgressEvent",
+    "ProgressMeter",
     "RoundRobinDatabase",
     "SITE_LOCATIONS",
     "ServiceHealthAgent",
@@ -40,6 +44,12 @@ __all__ = [
     "SiteStatusCatalog",
     "TransferEntry",
     "TransferLedger",
+    "grid_exposition",
     "make_tags",
     "probe_site",
+    "render_flat",
+    "render_line",
+    "render_progress_line",
+    "render_store",
+    "slice_times",
 ]

@@ -405,6 +405,25 @@ class MetricStore:
                 return sample
         return None
 
+    def latest_per_series(
+        self, name: str
+    ) -> Dict[Tuple[Tuple[str, str], ...], MetricSample]:
+        """The newest sample for each distinct tag set under ``name``.
+
+        The Prometheus-exposition accessor: one gauge line per
+        (name, label set).  A single forward pass over the live window
+        — later samples overwrite earlier ones per tag set — so it
+        costs O(live) regardless of how many tag combinations exist,
+        where per-combination :meth:`latest` probes would multiply.
+        """
+        series = self._samples.get(name)
+        if series is None:
+            return {}
+        out: Dict[Tuple[Tuple[str, str], ...], MetricSample] = {}
+        for sample in series.live():
+            out[sample.tags] = sample
+        return out
+
     def series(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
         """Columnar (times, values) float64 arrays for ``name``.
 

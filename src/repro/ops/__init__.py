@@ -1,5 +1,15 @@
 """Operations: the iGOC, trouble tickets, policies, and §7 milestones."""
 
+from .alerts import (
+    AlertEngine,
+    AlertMonitor,
+    AlertRule,
+    AlertStatusRow,
+    AlertTransition,
+    default_rules,
+    lint_rules,
+    service_rules,
+)
 from .autovalidate import AutoValidator, ValidationReport
 from .igoc import IGOC, OperationsTeam
 from .metrics import (
@@ -38,6 +48,14 @@ from .troubleshooting import (
 
 __all__ = [
     "AcceptableUsePolicy",
+    "AlertEngine",
+    "AlertMonitor",
+    "AlertRule",
+    "AlertStatusRow",
+    "AlertTransition",
+    "default_rules",
+    "lint_rules",
+    "service_rules",
     "AutoValidator",
     "DataSummary",
     "GramAccounting",

@@ -139,6 +139,13 @@ class TroubleTicketSystem:
     def ticket(self, ticket_id: int) -> Ticket:
         return self._tickets[ticket_id]
 
+    def all_tickets(self, site: Optional[str] = None) -> List[Ticket]:
+        """Every ticket ever filed (optionally one site's), id order."""
+        return [
+            t for _tid, t in sorted(self._tickets.items())
+            if site is None or t.site == site
+        ]
+
     def open_tickets(self, site: Optional[str] = None) -> List[Ticket]:
         return [
             t for t in self._tickets.values()

@@ -35,11 +35,19 @@ or from a shell: ``python -m repro serve --port 8080 --workers 4``.
 
 from .app import ReproService, ServiceApp, serve
 from .cache import ResultCache
+from .progress import (
+    ProgressLog,
+    ProgressSender,
+    iter_sse_events,
+    parse_sse_stream,
+    sse_format,
+)
 from .queue import JobQueue, QueueFullError, execute_run
 from .reports import REPORT_KINDS, collect_reports, summarize_run
 from .schemas import (
     ApiError,
     HealthView,
+    RunEvents,
     RunSubmitted,
     RunView,
     SchemaError,
@@ -52,10 +60,13 @@ __all__ = [
     "ApiError",
     "HealthView",
     "JobQueue",
+    "ProgressLog",
+    "ProgressSender",
     "QueueFullError",
     "REPORT_KINDS",
     "ReproService",
     "ResultCache",
+    "RunEvents",
     "RunRecord",
     "RunStore",
     "RunSubmitted",
@@ -64,8 +75,11 @@ __all__ = [
     "ServiceApp",
     "collect_reports",
     "execute_run",
+    "iter_sse_events",
     "parse_pagination",
     "parse_run_request",
+    "parse_sse_stream",
     "serve",
+    "sse_format",
     "summarize_run",
 ]

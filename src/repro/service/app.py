@@ -13,14 +13,26 @@ Endpoints::
     GET  /runs/{id}                    state machine + summary
     GET  /runs/{id}/report/{kind}      paginated report (ops |
                                        troubleshooting | trace)
+    GET  /runs/{id}/events             live progress (SSE stream;
+                                       ?since=seq = JSON delta poll)
+    GET  /runs/{id}/metrics            the run's Prometheus exposition
     GET  /healthz                      liveness
-    GET  /metrics                      service.* counters
+    GET  /metrics                      Prometheus text (service gauges,
+                                       per-run progress, alert states;
+                                       ?format=json = legacy flat JSON)
+    GET  /alerts                       live alert-rule states
 
 The dedup contract (the acceptance criterion): an identical ``(config,
 seed)`` submission never runs a second simulation — it returns the
 first run's id with ``dedup`` set to ``"cached"`` (finished) or
 ``"joined"`` (still in flight), observable via the
 ``service.queue.executed`` counter.
+
+Progress streaming: workers emit deterministic-seq events through a
+bounded coalescing pipe into each record's
+:class:`~repro.service.progress.ProgressLog`; the SSE stream and the
+``?since=`` poll read the *same* log, so their views agree
+positionally by construction.
 """
 
 from __future__ import annotations
@@ -36,11 +48,13 @@ from urllib.parse import parse_qsl, urlsplit
 from ..core.grid3 import Grid3Config
 from ..core.results import ReportRecord, paginate
 from .cache import ResultCache
+from .progress import sse_end_frame, sse_format
 from .queue import JobQueue, QueueFullError, execute_run
 from .reports import REPORT_KINDS
 from .schemas import (
     ApiError,
     HealthView,
+    RunEvents,
     RunSubmitted,
     SchemaError,
     parse_pagination,
@@ -50,6 +64,13 @@ from .store import RunRecord, RunStore
 
 _RUN_PATH = re.compile(r"^/runs/(\d+)$")
 _REPORT_PATH = re.compile(r"^/runs/(\d+)/report/([a-z]+)$")
+_EVENTS_PATH = re.compile(r"^/runs/(\d+)/events$")
+_RUN_METRICS_PATH = re.compile(r"^/runs/(\d+)/metrics$")
+
+#: Retained scrape-history samples per metric: a long-lived server must
+#: not grow its own telemetry without bound (ring semantics; ~2048
+#: scrapes of history per gauge is days at a 1-minute cadence).
+SCRAPE_HISTORY = 2048
 
 
 class ServiceApp:
@@ -83,8 +104,19 @@ class ServiceApp:
         # Scrape history: every /metrics hit appends the service.*
         # gauges as samples, so the estate's MetricStore query surface
         # (series/window_stats) works on service telemetry too.
+        # Bounded (ring per metric): a long-lived server's own
+        # telemetry must not leak.
         from ..monitoring.core import MetricStore
-        self.metrics_store = MetricStore()
+        self.metrics_store = MetricStore(max_samples=SCRAPE_HISTORY)
+        # Live alerting over the scrape history: the same AlertEngine
+        # the simulation runs in-sim, evaluated against service.* on
+        # every scrape; states are served at /alerts and exposed as
+        # gauges in /metrics.
+        from ..ops.alerts import AlertEngine, service_rules
+        self.alerts = AlertEngine(
+            service_rules(queue_depth, workers),
+            {"service": self.metrics_store},
+        )
 
     # -- queue callbacks ------------------------------------------------------
     def _on_done(self, record: RunRecord, payload: Dict[str, object]) -> None:
@@ -149,7 +181,8 @@ class ServiceApp:
         return out
 
     def _scrape(self) -> Dict[str, float]:
-        """Snapshot the gauges and file them into the MetricStore."""
+        """Snapshot the gauges, file them into the MetricStore, and
+        give the live alert rules an evaluation pass."""
         from ..monitoring.core import MetricSample
         gauges = self.service_metrics()
         now = self._clock() - self.started_at
@@ -157,7 +190,49 @@ class ServiceApp:
             MetricSample(now, name, float(value))
             for name, value in sorted(gauges.items())
         )
+        self.alerts.evaluate(now)
         return gauges
+
+    def metrics_text(self) -> str:
+        """The full Prometheus exposition: service gauges, per-run
+        progress gauges, and alert states (one scrape pass)."""
+        from ..monitoring.prometheus import render_flat, render_line
+        lines = render_flat(self._scrape())
+        progress_keys = ("frac", "sim_time", "events", "jobs_submitted",
+                         "jobs_completed", "jobs_failed", "tickets_open")
+        snapshots = []
+        for record in self.store.runs():
+            event = record.progress.last()
+            if event is not None:
+                snapshots.append((record, event))
+        if snapshots:
+            for key in progress_keys:
+                family = f"service_run_progress_{key}"
+                lines.append(f"# TYPE {family} gauge")
+                for record, event in snapshots:
+                    if key not in event:
+                        continue
+                    lines.append(render_line(
+                        family, float(event[key]),  # type: ignore[arg-type]
+                        (("run", str(record.run_id)),
+                         ("state", record.state)),
+                    ))
+        rows = self.alerts.status_rows()
+        if rows:
+            lines.append("# TYPE service_alert_firing gauge")
+            for row in rows:
+                lines.append(render_line(
+                    "service_alert_firing", 1.0 if row.firing else 0.0,
+                    (("rule", row.name), ("severity", row.severity)),
+                ))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def wants_text(path: str, query: Dict[str, str]) -> bool:
+        """Does this request get a text/plain (Prometheus) response?"""
+        if path == "/metrics":
+            return query.get("format") != "json"
+        return bool(_RUN_METRICS_PATH.match(path))
 
     # -- the route table -------------------------------------------------------
     def handle(self, method: str, path: str, query: Dict[str, str],
@@ -185,7 +260,16 @@ class ServiceApp:
                 workers=self.queue.workers,
             ).to_json()
         if path == "/metrics" and method == "GET":
-            return 200, json.dumps(self._scrape(), sort_keys=True)
+            if query.get("format") == "json":
+                return 200, json.dumps(self._scrape(), sort_keys=True)
+            return 200, self.metrics_text()
+        if path == "/alerts" and method == "GET":
+            self._scrape()  # evaluate against fresh gauges
+            rows = self.alerts.status_rows()
+            return 200, json.dumps({
+                "rules": [row.as_dict() for row in rows],
+                "firing": sum(1 for row in rows if row.firing),
+            }, sort_keys=True)
         if path == "/runs" and method == "POST":
             status, submitted = self.submit(parse_run_request(body))
             return status, submitted.to_json()
@@ -206,13 +290,78 @@ class ServiceApp:
         match = _REPORT_PATH.match(path)
         if match and method == "GET":
             return self._report(int(match.group(1)), match.group(2), query)
-        if path in ("/healthz", "/metrics", "/runs") or _RUN_PATH.match(path) \
-                or _REPORT_PATH.match(path):
+        match = _EVENTS_PATH.match(path)
+        if match and method == "GET":
+            return self._events(int(match.group(1)), query)
+        match = _RUN_METRICS_PATH.match(path)
+        if match and method == "GET":
+            return self._run_metrics(int(match.group(1)))
+        if path in ("/healthz", "/metrics", "/runs", "/alerts") \
+                or _RUN_PATH.match(path) or _REPORT_PATH.match(path) \
+                or _EVENTS_PATH.match(path) or _RUN_METRICS_PATH.match(path):
             return 405, ApiError(
                 error="method not allowed",
                 detail=f"{method} {path}",
             ).to_json()
         return 404, ApiError(error="not found", detail=path).to_json()
+
+    def _events(self, run_id: int,
+                query: Dict[str, str]) -> Tuple[int, str]:
+        """The ``?since=`` delta-poll body (the SSE stream lives in the
+        handler, which needs the socket; this path is socketless)."""
+        record = self.store.get(run_id)
+        if record is None:
+            return 404, ApiError(
+                error="not found", detail=f"no run {run_id}",
+            ).to_json()
+        raw = query.get("since", "-1")
+        try:
+            since = int(raw)
+        except ValueError as exc:
+            raise SchemaError(
+                f"since must be an integer event seq, got {raw!r}"
+            ) from exc
+        events, closed = record.progress.since(since)
+        next_since = int(events[-1]["seq"]) if events else since
+        return 200, RunEvents(
+            run_id=run_id,
+            state=record.state,
+            since=since,
+            next_since=next_since,
+            closed=closed,
+            events=events,
+        ).to_json()
+
+    def _run_metrics(self, run_id: int) -> Tuple[int, str]:
+        """A finished run's Prometheus exposition (worker-rendered)."""
+        record = self.store.get(run_id)
+        if record is None:
+            return 404, ApiError(
+                error="not found", detail=f"no run {run_id}",
+            ).to_json()
+        if record.state == "failed":
+            return 409, ApiError(
+                error="run failed", detail=record.error or "",
+            ).to_json()
+        if record.state != "done":
+            return 409, ApiError(
+                error="run not finished",
+                detail=f"run {run_id} is {record.state}; stream "
+                       f"/runs/{run_id}/events meanwhile",
+            ).to_json()
+        if record.payload is None:
+            return 410, ApiError(
+                error="result evicted",
+                detail="the result cache dropped this run's payload; "
+                       "resubmit the config to re-run",
+            ).to_json()
+        text = record.payload.get("metrics_text")
+        if not isinstance(text, str):
+            return 404, ApiError(
+                error="not found",
+                detail="this run predates metrics exposition",
+            ).to_json()
+        return 200, text
 
     def _report(self, run_id: int, kind: str,
                 query: Dict[str, str]) -> Tuple[int, str]:
@@ -265,13 +414,74 @@ class _Handler(BaseHTTPRequestHandler):
         query = dict(parse_qsl(split.query))
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
+        if (method == "GET" and "since" not in query
+                and _EVENTS_PATH.match(split.path)):
+            match = _EVENTS_PATH.match(split.path)
+            self._stream_events(int(match.group(1)))  # type: ignore[union-attr]
+            return
         status, payload = self.app.handle(method, split.path, query, body)
         data = payload.encode("utf-8")
+        content_type = "application/json"
+        if status == 200 and self.app.wants_text(split.path, query):
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    def _stream_events(self, run_id: int) -> None:
+        """``GET /runs/{id}/events`` without ``?since=``: the SSE path.
+
+        Streams the run's ProgressLog as Server-Sent Events until the
+        run reaches a terminal state (then an ``end`` frame and EOF).
+        A dropped client only kills this handler thread — the run, its
+        log, and other streams are unaffected.  ``Last-Event-ID``
+        resumes a reconnect from where the previous stream stopped.
+        """
+        record = self.app.store.get(run_id)
+        if record is None:
+            payload = ApiError(
+                error="not found", detail=f"no run {run_id}",
+            ).to_json().encode("utf-8")
+            self.send_response(404)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        try:
+            seq = int(self.headers.get("Last-Event-ID") or -1)
+        except ValueError:
+            seq = -1
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        log = record.progress
+        try:
+            while True:
+                events, closed = log.wait_for(seq, timeout=15.0)
+                for event in events:
+                    self.wfile.write(sse_format(event))
+                    seq = max(seq, int(event["seq"]))  # type: ignore[arg-type]
+                self.wfile.flush()
+                if closed:
+                    # Drain any final events that raced the close.
+                    tail, _ = log.since(seq)
+                    for event in tail:
+                        self.wfile.write(sse_format(event))
+                    self.wfile.write(sse_end_frame())
+                    self.wfile.flush()
+                    return
+                if not events:
+                    # Keepalive comment so idle streams detect drops.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; the run is untouched
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
@@ -366,9 +576,17 @@ def serve(
     )
     out(f"grid-as-a-service listening on {service.url} "
         f"({workers} worker(s), queue depth {queue_depth})")
-    out(f"  POST {service.url}/runs              submit a simulation")
-    out(f"  GET  {service.url}/runs/<id>         poll its state")
+    out(f"  POST {service.url}/runs                submit a simulation")
+    out(f"  GET  {service.url}/runs                list runs (paginated)")
+    out(f"  GET  {service.url}/runs/<id>           poll its state")
+    out(f"  GET  {service.url}/runs/<id>/events    live progress "
+        f"(SSE; ?since=seq polls)")
     out(f"  GET  {service.url}/runs/<id>/report/ops|troubleshooting|trace")
-    out(f"  GET  {service.url}/healthz | /metrics")
+    out(f"  GET  {service.url}/runs/<id>/metrics   finished run's "
+        f"Prometheus exposition")
+    out(f"  GET  {service.url}/healthz             liveness")
+    out(f"  GET  {service.url}/metrics             Prometheus text "
+        f"(?format=json for flat JSON)")
+    out(f"  GET  {service.url}/alerts              live alert-rule states")
     service.serve_forever()
     return 0

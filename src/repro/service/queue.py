@@ -18,6 +18,8 @@ path the integration suite exercises.
 
 from __future__ import annotations
 
+import inspect
+import multiprocessing as _mp
 import queue as _queue
 import threading
 import traceback
@@ -26,6 +28,7 @@ from typing import Callable, Dict, Optional
 
 from ..core.grid3 import Grid3, Grid3Config
 from ..errors import GridError
+from .progress import ProgressSender
 from .reports import collect_reports, summarize_run
 from .store import RunRecord
 
@@ -34,16 +37,63 @@ class QueueFullError(GridError):
     """The bounded queue is at depth; the submission was rejected."""
 
 
-def execute_run(config: Grid3Config) -> Dict[str, object]:
+def execute_run(config: Grid3Config, progress=None) -> Dict[str, object]:
     """Worker body: one full simulation -> its servable payload.
 
-    Module-level (and taking only a picklable config) so it crosses the
-    process boundary; runs in a pool worker, never in the server
-    process.
+    Module-level (and taking only picklable arguments) so it crosses
+    the process boundary; runs in a pool worker, never in the server
+    process.  ``progress``, when given, is the write end of a
+    multiprocessing pipe: the run streams
+    :class:`~repro.monitoring.progress.ProgressEvent` dicts through a
+    non-blocking coalescing :class:`ProgressSender`, so a slow (or
+    absent) reader never stalls the simulation.
+
+    The payload also carries ``metrics_text`` — the grid's full
+    Prometheus exposition rendered here, in the worker, so the server
+    can serve a finished run's metrics without ever holding the grid.
     """
-    grid = Grid3(config)
-    grid.run_full()
-    return {"reports": collect_reports(grid), "summary": summarize_run(grid)}
+    from ..monitoring.prometheus import grid_exposition
+
+    sender = ProgressSender(progress) if progress is not None else None
+    last: Dict[str, object] = {}
+
+    def emit(event) -> None:
+        payload = event.as_dict()
+        last.clear()
+        last.update(payload)
+        sender.emit(payload)  # type: ignore[union-attr]
+
+    try:
+        grid = Grid3(config)
+        grid.run_full(progress=emit if sender is not None else None)
+        return {
+            "reports": collect_reports(grid),
+            "summary": summarize_run(grid),
+            "metrics_text": grid_exposition(grid, progress=last or None),
+        }
+    finally:
+        if sender is not None:
+            sender.close()
+
+
+def _accepts_progress(runner: Callable) -> bool:
+    """Can ``runner`` take a second (progress) argument?
+
+    Decided per call via the signature, because tests inject one-arg
+    runners (and swap them in after construction); those keep the plain
+    single-argument submit path.
+    """
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p for p in parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in parameters.values()):
+        return True
+    return len(positional) >= 2 or "progress" in parameters
 
 
 class JobQueue:
@@ -124,11 +174,36 @@ class JobQueue:
     def _run_one(self, record: RunRecord) -> None:
         with self._lock:
             self._busy += 1
+        rconn = wconn = None
+        reader: Optional[threading.Thread] = None
         try:
             if self._on_start is not None:
                 self._on_start(record)
-            future = self._pool.submit(self._runner, record.config)
+            log = getattr(record, "progress", None)
+            if log is not None and _accepts_progress(self._runner):
+                # One pipe per run: the worker's ProgressSender writes,
+                # this reader thread pumps events into the record's log.
+                # Connection objects cross ProcessPoolExecutor's submit
+                # boundary via fd duplication (ForkingPickler).
+                rconn, wconn = _mp.Pipe(duplex=False)
+                reader = threading.Thread(
+                    target=self._pump_progress, args=(rconn, log),
+                    name=f"progress-{record.run_id}", daemon=True,
+                )
+                reader.start()
+                future = self._pool.submit(
+                    self._runner, record.config, wconn
+                )
+            else:
+                future = self._pool.submit(self._runner, record.config)
             payload = future.result()
+            # Drop the parent's write-end copy *before* joining: EOF
+            # reaches the reader only once every write fd is closed.
+            if wconn is not None:
+                wconn.close()
+                wconn = None
+            if reader is not None:
+                reader.join(timeout=10.0)
             with self._lock:
                 self.executed += 1
             if self._on_done is not None:
@@ -143,8 +218,37 @@ class JobQueue:
             if self._on_error is not None:
                 self._on_error(record, detail)
         finally:
+            if wconn is not None:
+                try:
+                    wconn.close()
+                except OSError:
+                    pass
+            if reader is not None and reader.is_alive():
+                reader.join(timeout=5.0)
+            if rconn is not None:
+                try:
+                    rconn.close()
+                except OSError:
+                    pass
             with self._lock:
                 self._busy -= 1
+
+    @staticmethod
+    def _pump_progress(rconn, log) -> None:
+        """Reader-thread body: drain the pipe into the run's log."""
+        try:
+            while True:
+                try:
+                    event = rconn.recv()
+                except (EOFError, OSError):
+                    return
+                if isinstance(event, dict):
+                    log.append(event)
+        finally:
+            try:
+                rconn.close()
+            except OSError:
+                pass
 
     # -- observability --------------------------------------------------------
     @property

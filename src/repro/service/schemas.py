@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.grid3 import Grid3Config
 from ..core.results import ReportRecord
@@ -82,6 +82,25 @@ class HealthView(ReportRecord):
     uptime_s: float
     queue_depth: int
     workers: int
+
+
+@dataclass(frozen=True)
+class RunEvents(ReportRecord):
+    """`GET /runs/{id}/events?since=N` response: the delta-poll view.
+
+    ``events`` are every progress event with ``seq > since`` (the same
+    deterministic sequence the SSE stream carries); ``next_since`` is
+    what the client passes next (unchanged when no news); ``closed``
+    means the run reached a terminal state and no further events will
+    ever arrive.
+    """
+
+    run_id: int
+    state: str
+    since: int
+    next_since: int
+    closed: bool
+    events: List[Dict[str, object]]
 
 
 def parse_run_request(body: bytes) -> Grid3Config:

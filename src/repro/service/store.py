@@ -20,6 +20,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.grid3 import Grid3Config
+from .progress import ProgressLog
 from .schemas import RunView
 
 #: Legal states, in lifecycle order.
@@ -31,7 +32,7 @@ class RunRecord:
 
     __slots__ = (
         "run_id", "digest", "config", "state", "submitted_at", "started_at",
-        "finished_at", "error", "payload", "payload_bytes",
+        "finished_at", "error", "payload", "payload_bytes", "progress",
     )
 
     def __init__(self, run_id: int, digest: str, config: Grid3Config,
@@ -48,6 +49,9 @@ class RunRecord:
         #: the result cache evicts it).
         self.payload: Optional[Dict[str, object]] = None
         self.payload_bytes = 0
+        #: Live progress events streamed from the worker; closed when
+        #: the run reaches a terminal state (SSE streams end then).
+        self.progress = ProgressLog()
 
     def view(self, now: float) -> RunView:
         """The wire-shape snapshot of this record."""
@@ -116,6 +120,8 @@ class RunStore:
             record.finished_at = self._clock()
             record.payload = payload
             record.payload_bytes = payload_bytes
+        # Outside the lock: closing wakes every waiting SSE stream.
+        record.progress.close()
 
     def mark_failed(self, record: RunRecord, error: str) -> None:
         with self._lock:
@@ -125,6 +131,7 @@ class RunStore:
             # A failed digest must not satisfy future dedup lookups as
             # if it had a result; leave the index pointing here so the
             # app can see the failure and choose to re-run.
+        record.progress.close()
 
     # -- cache eviction hook -------------------------------------------------
     def drop_payload(self, run_id: int) -> None:

@@ -1,0 +1,120 @@
+"""Prometheus exposition: grammar, latest-per-series, grid rendering."""
+
+from repro.monitoring.core import MetricSample, MetricStore, make_tags
+from repro.monitoring.prometheus import (
+    escape_label_value,
+    format_value,
+    grid_exposition,
+    grid_stores,
+    render_flat,
+    render_line,
+    render_store,
+    sanitize_name,
+)
+
+
+def test_sanitize_name():
+    assert sanitize_name("service.gatekeeper.up") == "service_gatekeeper_up"
+    assert sanitize_name("9lives") == "_9lives"
+    assert sanitize_name("ok_name:x") == "ok_name:x"
+    assert sanitize_name("") == "_"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_format_value():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(float("nan")) == "NaN"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+
+
+def test_render_line_with_and_without_labels():
+    assert render_line("a.b", 1.0) == "a_b 1"
+    line = render_line("up", 0.0, (("site", "UBuffalo-CCR"), ("role", "gk")))
+    assert line == 'up{site="UBuffalo-CCR",role="gk"} 0'
+
+
+def test_latest_per_series_takes_newest_per_tag_set():
+    store = MetricStore()
+    tags_a = make_tags(site="A")
+    tags_b = make_tags(site="B")
+    store.append(MetricSample(1.0, "up", 1.0, tags_a))
+    store.append(MetricSample(2.0, "up", 0.0, tags_a))
+    store.append(MetricSample(3.0, "up", 1.0, tags_b))
+    per = store.latest_per_series("up")
+    assert len(per) == 2
+    assert per[tags_a].value == 0.0 and per[tags_a].time == 2.0
+    assert per[tags_b].value == 1.0
+    assert store.latest_per_series("missing") == {}
+
+
+def test_render_store_groups_families_consecutively():
+    store = MetricStore()
+    store.append(MetricSample(1.0, "svc.up", 1.0, make_tags(site="A")))
+    store.append(MetricSample(1.0, "svc.up", 0.0, make_tags(site="B")))
+    store.append(MetricSample(1.0, "svc.load", 0.5))
+    lines = render_store(store, prefix="x_")
+    # Every family: one # TYPE header immediately followed by its lines.
+    type_idx = [i for i, l in enumerate(lines) if l.startswith("# TYPE")]
+    assert len(type_idx) == 2
+    for i, l in enumerate(lines):
+        if not l.startswith("# TYPE"):
+            family = l.split("{")[0].split(" ")[0]
+            assert f"# TYPE {family} gauge" in lines[:i]
+    assert 'x_svc_up{site="A"} 1' in lines
+    assert 'x_svc_up{site="B"} 0' in lines
+
+
+def test_render_flat_sorted_with_headers():
+    lines = render_flat({"b": 2.0, "a": 1.0})
+    assert lines == [
+        "# TYPE a gauge", "a 1", "# TYPE b gauge", "b 2",
+    ]
+
+
+def test_grid_exposition_on_tiny_run():
+    from repro.core.grid3 import Grid3, Grid3Config
+    # 0.25 sim-days: enough for several hourly service-health polls, so
+    # the estate stores actually carry samples.
+    grid = Grid3(Grid3Config(scale=3000.0, duration_days=0.25,
+                             apps=["exerciser"], seed=7))
+    events = []
+    grid.run_full(progress=lambda e: events.append(e))
+    text = grid_exposition(grid, progress=events[-1].as_dict())
+    lines = text.splitlines()
+    assert text.endswith("\n")
+
+    stores = grid_stores(grid)
+    assert "service-health" in stores and "acdc" not in stores
+
+    # Kernel + fabric + per-VO jobs + progress + estate stores.
+    assert any(l.startswith("repro_engine_events_dispatched ")
+               for l in lines)
+    assert "repro_sites 27" in lines
+    assert any(l.startswith('repro_jobs_completed{vo="ivdgl"} ')
+               for l in lines)
+    assert "repro_run_progress_frac 1" in lines
+    assert any(l.startswith("repro_service_health_service_gatekeeper_up{")
+               for l in lines)
+
+    # Valid v0.0.4: every sample line's family has a TYPE header, and
+    # family lines are consecutive (Prometheus rejects interleaving).
+    seen_types = set()
+    last_family = None
+    families_done = set()
+    for line in lines:
+        if line.startswith("# TYPE"):
+            family = line.split()[2]
+            assert family not in seen_types, f"duplicate TYPE {family}"
+            seen_types.add(family)
+            if last_family is not None:
+                families_done.add(last_family)
+            last_family = family
+        elif line:
+            family = line.split("{")[0].split(" ")[0]
+            assert family == last_family, f"interleaved family {family}"
+            assert family not in families_done

@@ -187,15 +187,98 @@ def test_healthz_and_runs_listing(app):
 def test_metrics_scrape_feeds_metric_store(app):
     _, sub = submit(app, seed=1)
     wait_done(app, sub["run_id"])
-    status, gauges = call(app, "GET", "/metrics")
+    status, gauges = call(app, "GET", "/metrics", query={"format": "json"})
     assert status == 200
     assert gauges["service.runs.done"] == 1
     assert gauges["service.queue.executed"] == 1
     assert gauges["service.cache.entries"] == 1
     # Scrapes append history into the estate's MetricStore surface.
-    call(app, "GET", "/metrics")
+    call(app, "GET", "/metrics", query={"format": "json"})
     _times, values = app.metrics_store.series("service.queue.executed")
     assert list(values) == [1.0, 1.0]
+
+
+def test_metrics_default_is_prometheus_text(app):
+    status, text = app.handle("GET", "/metrics", {}, b"")
+    assert status == 200
+    lines = text.splitlines()
+    assert "# TYPE service_queue_depth gauge" in lines
+    assert any(line.startswith("service_uptime_s ") for line in lines)
+    # Alert states are exposed as 0/1 gauges with rule labels.
+    assert any(line.startswith('service_alert_firing{rule="queue-backlog"')
+               for line in lines)
+
+
+def test_metrics_scrape_history_is_bounded(app):
+    from repro.service.app import SCRAPE_HISTORY
+    for _ in range(5):
+        call(app, "GET", "/metrics", query={"format": "json"})
+    assert app.metrics_store.max_samples == SCRAPE_HISTORY
+    series = app.metrics_store._samples["service.queue.depth"]
+    assert series.maxlen == SCRAPE_HISTORY and len(series) == 5
+
+
+def test_alerts_endpoint_lists_service_rules(app):
+    status, payload = call(app, "GET", "/alerts")
+    assert status == 200
+    names = [r["name"] for r in payload["rules"]]
+    assert "queue-backlog" in names and "workers-saturated" in names
+    assert payload["firing"] == 0
+
+
+def test_events_delta_poll_and_bad_since(app):
+    _, sub = submit(app, seed=1)
+    run_id = sub["run_id"]
+    wait_done(app, run_id)
+    status, payload = call(app, "GET", f"/runs/{run_id}/events",
+                           query={"since": "-1"})
+    assert status == 200
+    assert payload["closed"] is True
+    # Fake runners emit nothing; the envelope still closes cleanly.
+    assert payload["events"] == []
+    assert payload["next_since"] == -1
+    assert call(app, "GET", "/runs/999/events",
+                query={"since": "-1"})[0] == 404
+    assert call(app, "GET", f"/runs/{run_id}/events",
+                query={"since": "zap"})[0] == 400
+
+
+def test_progress_capable_runner_streams_into_record_log():
+    from repro.service.progress import ProgressSender
+
+    def streaming_runner(config, progress=None):
+        sender = ProgressSender(progress)
+        for i in range(4):
+            sender.emit({"seq": i, "kind": "phase" if i == 0 else "tick",
+                         "phase": "sim"})
+        sender.close()
+        return fake_payload(config)
+
+    instance = ServiceApp(
+        workers=1, queue_depth=4,
+        pool_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        runner=streaming_runner,
+    )
+    try:
+        status, payload = instance.handle(
+            "POST", "/runs", {},
+            json.dumps({"config": {"seed": 9}}).encode())
+        assert status == 202
+        run_id = json.loads(payload)["run_id"]
+        assert instance.queue.drain(timeout=10.0)
+        record = instance.store.get(run_id)
+        events, closed = record.progress.since(-1)
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+        assert closed  # terminal state closed the log
+        # The delta poll serves the same sequence.
+        status, body = instance.handle(
+            "GET", f"/runs/{run_id}/events", {"since": "1"}, b"")
+        assert status == 200
+        delta = json.loads(body)
+        assert [e["seq"] for e in delta["events"]] == [2, 3]
+        assert delta["closed"] is True and delta["next_since"] == 3
+    finally:
+        instance.close(drain=True, timeout=10.0)
 
 
 def test_cache_eviction_drops_store_payload(app):

@@ -55,7 +55,7 @@ def service():
 
 
 def metrics(base):
-    status, body = http("GET", f"{base}/metrics")
+    status, body = http("GET", f"{base}/metrics?format=json")
     assert status == 200
     return json.loads(body)
 
