@@ -19,8 +19,12 @@ importable for advanced use (one level deep: ``repro.sim``,
   frozen-dataclass result convention every ops query surface returns,
   and its paginated-slice form;
 * :class:`ReproService` / :class:`ServiceApp` — the grid-as-a-service
-  HTTP front end (submit runs, poll, fetch paginated reports, with
-  result caching keyed by :meth:`Grid3Config.canonical_digest`);
+  HTTP front end (versioned ``/v1`` API: submit runs, poll, fetch
+  paginated reports, with result caching keyed by
+  :meth:`Grid3Config.canonical_digest`, a durable run registry under
+  ``--state-dir``, and fair-share admission control);
+* :class:`GridClient` / :class:`GridServiceError` — the typed
+  stdlib-only client for that v1 API;
 * :mod:`repro.sim` — the simulation kernel;
 * :mod:`repro.fabric` — sites, clusters, storage, WAN;
 * :mod:`repro.middleware` — GSI, GRAM, GridFTP, RLS, MDS, VOMS, Pacman, SRM;
@@ -32,6 +36,7 @@ importable for advanced use (one level deep: ``repro.sim``,
 * :mod:`repro.failures`, :mod:`repro.ops`, :mod:`repro.analysis`.
 """
 
+from .client import GridClient, GridServiceError
 from .core.grid3 import APP_CLASSES, EXERCISER_SITES, Grid3, Grid3Config
 from .core.job import Job, JobSpec, JobState
 from .core.results import ReportPage, ReportRecord, paginate
@@ -59,7 +64,9 @@ __all__ = [
     "Grid3",
     "Grid3Config",
     "Grid3Runner",
+    "GridClient",
     "GridError",
+    "GridServiceError",
     "Job",
     "JobSpec",
     "JobState",

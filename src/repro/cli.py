@@ -393,6 +393,8 @@ def cmd_serve(args, out=print) -> int:
         host=args.host,
         queue_depth=args.queue_depth,
         cache_bytes=int(args.cache_mb * 1024 * 1024),
+        state_dir=args.state_dir,
+        quota_per_client=args.quota,
         out=out,
     )
 
@@ -636,6 +638,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max runs queued or running (default 64)")
     p_serve.add_argument("--cache-mb", type=float, default=64.0,
                          help="result-cache byte budget in MB (default 64)")
+    p_serve.add_argument("--state-dir", default=None,
+                         help="directory for the durable run registry "
+                              "(sqlite journal; restarts resume every "
+                              "run; default: in-memory only)")
+    p_serve.add_argument("--quota", type=int, default=16,
+                         help="per-client active-run quota; breaches get "
+                              "429 + Retry-After (0 = unlimited; "
+                              "default 16)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_alerts = sub.add_parser(

@@ -415,6 +415,15 @@ def service_rules(queue_depth: int, workers: int) -> List[AlertRule]:
             threshold=0.0, window=3600.0, severity="normal",
             description="at least one run failed in the last hour's scrapes",
         ),
+        AlertRule(
+            name="quota-pressure",
+            metric="service.admission.quota_rejections",
+            store="service",
+            kind="threshold", aggregate="latest", op=">",
+            threshold=0.0, window=3600.0, severity="low",
+            description="admission control rejected submissions over a "
+                        "per-client quota (429s) in the last hour's scrapes",
+        ),
     ]
 
 

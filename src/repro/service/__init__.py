@@ -13,28 +13,37 @@ types.
 
 Layering (each module one concern):
 
-* :mod:`~repro.service.schemas` — request parsing/validation (400s);
-* :mod:`~repro.service.store`   — the run registry and state machine;
-* :mod:`~repro.service.cache`   — byte-budgeted LRU result cache;
-* :mod:`~repro.service.queue`   — bounded queue + process worker pool;
-* :mod:`~repro.service.reports` — report payload builders (the byte-
+* :mod:`~repro.service.schemas`     — request parsing/validation (400s)
+  and the uniform error envelope;
+* :mod:`~repro.service.store`       — the run registry and state machine;
+* :mod:`~repro.service.persistence` — the durable journal the registry
+  replays on restart (``--state-dir``);
+* :mod:`~repro.service.admission`   — fair-share dispatch order, lanes,
+  and per-client quotas;
+* :mod:`~repro.service.cache`       — byte-budgeted LRU result cache;
+* :mod:`~repro.service.queue`       — bounded queue + process worker pool;
+* :mod:`~repro.service.reports`     — report payload builders (the byte-
   identity contract with the ``repro`` facade lives here);
-* :mod:`~repro.service.app`     — routing/dispatch + the HTTP server.
+* :mod:`~repro.service.app`         — versioned (``/v1``) routing +
+  the HTTP server.
 
 Typical use::
 
     from repro.service import ReproService
 
-    svc = ReproService(port=8080, workers=4)
+    svc = ReproService(port=8080, workers=4, state_dir="./state")
     svc.start()
-    # POST /runs, GET /runs/{id}, GET /runs/{id}/report/ops, ...
+    # POST /v1/runs, GET /v1/runs/{id}, GET /v1/runs/{id}/report/ops, ...
     svc.close(drain=True)
 
-or from a shell: ``python -m repro serve --port 8080 --workers 4``.
+or from a shell: ``python -m repro serve --port 8080 --workers 4``;
+the typed in-process client is :class:`repro.client.GridClient`.
 """
 
-from .app import ReproService, ServiceApp, serve
+from .admission import LANES, AdmissionPolicy, QuotaExceededError
+from .app import API_PREFIX, ReproService, ServiceApp, serve, strip_version
 from .cache import ResultCache
+from .persistence import JournalEntry, RunJournal
 from .progress import (
     ProgressLog,
     ProgressSender,
@@ -45,29 +54,40 @@ from .progress import (
 from .queue import JobQueue, QueueFullError, execute_run
 from .reports import REPORT_KINDS, collect_reports, summarize_run
 from .schemas import (
+    ERROR_CODES,
     ApiError,
     HealthView,
     RunEvents,
+    RunRequest,
     RunSubmitted,
     RunView,
     SchemaError,
     parse_pagination,
     parse_run_request,
+    parse_submission,
 )
 from .store import RunRecord, RunStore
 
 __all__ = [
+    "API_PREFIX",
+    "AdmissionPolicy",
     "ApiError",
+    "ERROR_CODES",
     "HealthView",
     "JobQueue",
+    "JournalEntry",
+    "LANES",
     "ProgressLog",
     "ProgressSender",
     "QueueFullError",
+    "QuotaExceededError",
     "REPORT_KINDS",
     "ReproService",
     "ResultCache",
     "RunEvents",
+    "RunJournal",
     "RunRecord",
+    "RunRequest",
     "RunStore",
     "RunSubmitted",
     "RunView",
@@ -79,7 +99,9 @@ __all__ = [
     "parse_pagination",
     "parse_run_request",
     "parse_sse_stream",
+    "parse_submission",
     "serve",
     "sse_format",
+    "strip_version",
     "summarize_run",
 ]

@@ -1,26 +1,37 @@
 """Routing/dispatch and the HTTP server for grid-as-a-service.
 
-:class:`ServiceApp` is the pure request handler — ``handle(method,
-path, query, body)`` returns ``(status, json_body)`` and can be unit
-tested without a socket.  :class:`ReproService` wraps it in a
-``ThreadingHTTPServer`` (stdlib only, so tier-1 stays hermetic) on an
-ephemeral or fixed port; :func:`serve` is the blocking CLI entry.
+:class:`ServiceApp` is the pure request handler — ``respond(method,
+path, query, body)`` returns ``(status, json_body, headers)`` and can
+be unit tested without a socket (``handle(...)`` is the two-tuple
+shim).  :class:`ReproService` wraps it in a ``ThreadingHTTPServer``
+(stdlib only, so tier-1 stays hermetic) on an ephemeral or fixed port;
+:func:`serve` is the blocking CLI entry.
 
-Endpoints::
+The API is **versioned**: every endpoint lives under ``/v1/`` and the
+bare legacy paths answer identically while carrying a ``Deprecation``
+header plus a ``Link: </v1/...>; rel="successor-version"`` pointing at
+the canonical route.
 
-    POST /runs                         submit (dedup via result cache)
-    GET  /runs                         run listing (paginated)
-    GET  /runs/{id}                    state machine + summary
-    GET  /runs/{id}/report/{kind}      paginated report (ops |
-                                       troubleshooting | trace)
-    GET  /runs/{id}/events             live progress (SSE stream;
-                                       ?since=seq = JSON delta poll)
-    GET  /runs/{id}/metrics            the run's Prometheus exposition
-    GET  /healthz                      liveness
-    GET  /metrics                      Prometheus text (service gauges,
-                                       per-run progress, alert states;
-                                       ?format=json = legacy flat JSON)
-    GET  /alerts                       live alert-rule states
+Endpoints (all under ``/v1``, legacy aliases without the prefix)::
+
+    POST /v1/runs                         submit (dedup via result cache;
+                                          fair-share admission + quotas)
+    GET  /v1/runs                         run listing (paginated)
+    GET  /v1/runs/{id}                    state machine + summary
+    GET  /v1/runs/{id}/report/{kind}      paginated report (ops |
+                                          troubleshooting | trace)
+    GET  /v1/runs/{id}/events             live progress (SSE stream;
+                                          ?since=seq = JSON delta poll)
+    GET  /v1/runs/{id}/metrics            the run's Prometheus exposition
+    GET  /v1/healthz                      liveness (+ durability info)
+    GET  /v1/metrics                      Prometheus text (service gauges,
+                                          admission gauges, per-run
+                                          progress, alert states;
+                                          ?format=json = legacy flat JSON)
+    GET  /v1/alerts                       live alert-rule states
+
+Every non-2xx response carries the uniform envelope
+``{"error": {"code", "message", "hint"}}``; 429s carry ``Retry-After``.
 
 The dedup contract (the acceptance criterion): an identical ``(config,
 seed)`` submission never runs a second simulation — it returns the
@@ -28,11 +39,15 @@ first run's id with ``dedup`` set to ``"cached"`` (finished) or
 ``"joined"`` (still in flight), observable via the
 ``service.queue.executed`` counter.
 
-Progress streaming: workers emit deterministic-seq events through a
-bounded coalescing pipe into each record's
-:class:`~repro.service.progress.ProgressLog`; the SSE stream and the
-``?since=`` poll read the *same* log, so their views agree
-positionally by construction.
+Durability: pass ``state_dir`` and every run-registry mutation is
+journaled to sqlite (WAL); a restart replays the journal, so finished
+runs serve byte-identical report bytes across restarts and in-flight
+runs come back ``interrupted`` (terminal, resubmittable).
+
+Admission: submissions name a ``client`` and a ``lane``; dispatch is
+fair-share-ordered via :class:`~repro.service.admission.AdmissionPolicy`
+(reusing the scheduler's ledger) and per-client quotas answer 429 +
+``Retry-After`` on breach, published as ``service.admission.*``.
 """
 
 from __future__ import annotations
@@ -42,12 +57,13 @@ import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
-from urllib.parse import parse_qsl, urlsplit
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.grid3 import Grid3Config
-from ..core.results import ReportRecord, paginate
+from ..core.results import paginate
+from .admission import AdmissionPolicy, QuotaExceededError
 from .cache import ResultCache
+from .persistence import RunJournal
 from .progress import sse_end_frame, sse_format
 from .queue import JobQueue, QueueFullError, execute_run
 from .reports import REPORT_KINDS
@@ -55,10 +71,12 @@ from .schemas import (
     ApiError,
     HealthView,
     RunEvents,
+    RunRequest,
     RunSubmitted,
     SchemaError,
     parse_pagination,
-    parse_run_request,
+    parse_submission,
+    split_hint,
 )
 from .store import RunRecord, RunStore
 
@@ -67,10 +85,25 @@ _REPORT_PATH = re.compile(r"^/runs/(\d+)/report/([a-z]+)$")
 _EVENTS_PATH = re.compile(r"^/runs/(\d+)/events$")
 _RUN_METRICS_PATH = re.compile(r"^/runs/(\d+)/metrics$")
 
+#: The API version prefix every canonical route lives under.
+API_PREFIX = "/v1"
+
 #: Retained scrape-history samples per metric: a long-lived server must
 #: not grow its own telemetry without bound (ring semantics; ~2048
 #: scrapes of history per gauge is days at a 1-minute cadence).
 SCRAPE_HISTORY = 2048
+
+#: (status, body, headers) — what :meth:`ServiceApp.respond` returns.
+Response = Tuple[int, str, List[Tuple[str, str]]]
+
+
+def strip_version(path: str) -> Tuple[str, bool]:
+    """``/v1/runs -> ("/runs", True)``; bare paths pass through."""
+    if path == API_PREFIX:
+        return "/", True
+    if path.startswith(API_PREFIX + "/"):
+        return path[len(API_PREFIX):], True
+    return path, False
 
 
 class ServiceApp:
@@ -84,11 +117,21 @@ class ServiceApp:
         pool_factory: Optional[Callable] = None,
         runner: Callable[[Grid3Config], Dict[str, object]] = execute_run,
         clock: Callable[[], float] = time.time,
+        state_dir: Optional[str] = None,
+        quota_per_client: int = 0,
+        admission_half_life_s: float = 300.0,
     ) -> None:
         self._clock = clock
         self.started_at = clock()
-        self.store = RunStore(clock=clock)
+        #: The durable journal (None = in-memory registry, the embedded
+        #: and unit-test default).
+        self.journal = RunJournal(state_dir) if state_dir is not None else None
+        self.store = RunStore(clock=clock, journal=self.journal)
         self.cache = ResultCache(cache_bytes)
+        self.admission = AdmissionPolicy(
+            quota=quota_per_client, half_life=admission_half_life_s,
+            clock=clock,
+        )
         #: Submissions that joined an in-flight identical run.
         self.joined = 0
         self._submit_lock = threading.Lock()
@@ -99,8 +142,20 @@ class ServiceApp:
             pool_factory=pool_factory,
             on_start=self.store.mark_running,
             on_done=self._on_done,
-            on_error=self.store.mark_failed,
+            on_error=self._on_error,
+            on_interrupted=self._on_interrupted,
+            admission=self.admission,
         )
+        # Replayed finished runs re-enter the result cache (journal
+        # order approximates recency; the byte budget may evict the
+        # oldest payloads right back out, journaled as drops).
+        finished = [r for r in self.store.runs()
+                    if r.state == "done" and r.payload is not None]
+        finished.sort(key=lambda r: (r.finished_at or 0.0, r.run_id))
+        for record in finished:
+            for _digest, victim_id in self.cache.put(
+                    record.digest, record.run_id, record.payload_bytes):
+                self.store.drop_payload(victim_id)
         # Scrape history: every /metrics hit appends the service.*
         # gauges as samples, so the estate's MetricStore query surface
         # (series/window_stats) works on service telemetry too.
@@ -119,16 +174,37 @@ class ServiceApp:
         )
 
     # -- queue callbacks ------------------------------------------------------
+    def _charge(self, record: RunRecord) -> None:
+        """Account a terminal run's wall-clock cost to its client."""
+        self.admission.release(record.client)
+        if record.started_at is not None:
+            finished = record.finished_at
+            if finished is None:
+                finished = self._clock()
+            self.admission.charge(
+                record.client, max(0.0, finished - record.started_at))
+
     def _on_done(self, record: RunRecord, payload: Dict[str, object]) -> None:
-        nbytes = len(json.dumps(payload, sort_keys=True, default=repr))
-        self.store.mark_done(record, payload, nbytes)
+        raw = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+        self.store.mark_done(record, payload, len(raw), raw=raw)
+        self._charge(record)
         for _digest, victim_id in self.cache.put(record.digest,
-                                                 record.run_id, nbytes):
+                                                 record.run_id, len(raw)):
             self.store.drop_payload(victim_id)
 
+    def _on_error(self, record: RunRecord, detail: str) -> None:
+        self.store.mark_failed(record, detail)
+        self._charge(record)
+
+    def _on_interrupted(self, record: RunRecord) -> None:
+        """Graceful-drain leftover: persist as resubmittable, not lost."""
+        self.store.mark_interrupted(record)
+        self.admission.release(record.client)
+
     # -- submission (the dedup path) ------------------------------------------
-    def submit(self, config: Grid3Config) -> Tuple[int, RunSubmitted]:
-        """Dedup-or-enqueue one validated config."""
+    def submit(self, request: RunRequest) -> Tuple[int, RunSubmitted]:
+        """Dedup-or-enqueue one validated submission."""
+        config = request.config
         digest = config.canonical_digest()
         with self._submit_lock:
             cached_id = self.cache.get(digest)
@@ -148,13 +224,22 @@ class ServiceApp:
                     run_id=existing.run_id, state=existing.state,
                     dedup="joined", digest=digest,
                 )
-            if existing is not None and existing.state == "failed":
-                # A failed run does not poison the digest forever.
+            if existing is not None and existing.state in (
+                    "failed", "interrupted"):
+                # A failed or interrupted run does not poison the digest
+                # forever: resubmission re-runs.
                 self.store.unlink(digest)
-            record = self.store.create(digest, config)
+            # The quota gate: counts this client's active runs; raises
+            # QuotaExceededError (429 + Retry-After) on breach.  Only
+            # *this* client is affected — quotas are per-client.
+            self.admission.admit(request.client, request.lane)
+            record = self.store.create(digest, config,
+                                       client=request.client,
+                                       lane=request.lane)
             try:
                 self.queue.submit(record)
             except QueueFullError:
+                self.admission.release(request.client)
                 self.store.mark_failed(record, "rejected: queue full")
                 self.store.unlink(digest)
                 raise
@@ -177,6 +262,10 @@ class ServiceApp:
             out[f"service.workers.{key}"] = queue_stats[key]
         for state, count in self.store.counts().items():
             out[f"service.runs.{state}"] = count
+        out["service.runs.recovered"] = self.store.recovered_interrupted
+        admission = self.admission.stats(self.queue.pending_records())
+        for key, value in admission.items():
+            out[f"service.admission.{key}"] = value
         out["service.uptime_s"] = round(self._clock() - self.started_at, 6)
         return out
 
@@ -230,25 +319,68 @@ class ServiceApp:
     @staticmethod
     def wants_text(path: str, query: Dict[str, str]) -> bool:
         """Does this request get a text/plain (Prometheus) response?"""
-        if path == "/metrics":
+        bare, _ = strip_version(path)
+        if bare == "/metrics":
             return query.get("format") != "json"
-        return bool(_RUN_METRICS_PATH.match(path))
+        return bool(_RUN_METRICS_PATH.match(bare))
 
     # -- the route table -------------------------------------------------------
+    @staticmethod
+    def _known_path(bare: str) -> bool:
+        """Is ``bare`` the shape of a real route (for alias headers)?"""
+        return bool(
+            bare in ("/healthz", "/metrics", "/runs", "/alerts")
+            or _RUN_PATH.match(bare) or _REPORT_PATH.match(bare)
+            or _EVENTS_PATH.match(bare) or _RUN_METRICS_PATH.match(bare)
+        )
+
+    def respond(self, method: str, path: str, query: Dict[str, str],
+                body: bytes) -> Response:
+        """Dispatch one request; ``(status, json_body, headers)``.
+
+        Accepts canonical ``/v1/...`` paths and the deprecated bare
+        aliases; aliases answer identically plus a ``Deprecation``
+        header and a ``Link`` to the successor route.
+        """
+        bare, versioned = strip_version(path)
+        headers: List[Tuple[str, str]] = []
+        if not versioned and self._known_path(bare):
+            headers.append(("Deprecation", "true"))
+            headers.append(
+                ("Link", f'<{API_PREFIX}{bare}>; rel="successor-version"'))
+        try:
+            status, payload = self._route(method, bare, query, body)
+        except SchemaError as exc:
+            message, hint = split_hint(str(exc))
+            status, payload = 400, ApiError(
+                code="bad_request", message=message, hint=hint,
+            ).to_json()
+        except QuotaExceededError as exc:
+            headers.append(("Retry-After", str(exc.retry_after)))
+            status, payload = 429, ApiError(
+                code="quota_exceeded", message=str(exc),
+                hint="wait Retry-After seconds, or submit as a different "
+                     "client; other clients' lanes are unaffected",
+            ).to_json()
+        except QueueFullError as exc:
+            headers.append(("Retry-After", "1"))
+            status, payload = 429, ApiError(
+                code="queue_full", message=str(exc),
+                hint="the whole queue is at depth; retry with backoff",
+            ).to_json()
+        except Exception as exc:  # noqa: BLE001 - the 500 of last resort
+            status, payload = 500, ApiError(
+                code="internal_error",
+                message=f"{type(exc).__name__}: {exc}",
+                hint="this is a server-side bug; the run registry is intact",
+            ).to_json()
+        return status, payload, headers
+
     def handle(self, method: str, path: str, query: Dict[str, str],
                body: bytes) -> Tuple[int, str]:
-        """Dispatch one request; returns ``(status, json_body)``."""
-        try:
-            return self._route(method, path, query, body)
-        except SchemaError as exc:
-            return 400, ApiError(error="bad request", detail=str(exc)).to_json()
-        except QueueFullError as exc:
-            return 429, ApiError(error="queue full", detail=str(exc)).to_json()
-        except Exception as exc:  # noqa: BLE001 - the 500 of last resort
-            return 500, ApiError(
-                error="internal error",
-                detail=f"{type(exc).__name__}: {exc}",
-            ).to_json()
+        """Two-tuple shim over :meth:`respond` (header-less callers)."""
+        status, payload, _headers = self.respond(method, path, query, body)
+        return status, payload
 
     def _route(self, method: str, path: str, query: Dict[str, str],
                body: bytes) -> Tuple[int, str]:
@@ -258,6 +390,8 @@ class ServiceApp:
                 uptime_s=round(self._clock() - self.started_at, 6),
                 queue_depth=self.queue.depth,
                 workers=self.queue.workers,
+                durable=self.journal is not None,
+                recovered_runs=self.store.recovered_interrupted,
             ).to_json()
         if path == "/metrics" and method == "GET":
             if query.get("format") == "json":
@@ -271,7 +405,7 @@ class ServiceApp:
                 "firing": sum(1 for row in rows if row.firing),
             }, sort_keys=True)
         if path == "/runs" and method == "POST":
-            status, submitted = self.submit(parse_run_request(body))
+            status, submitted = self.submit(parse_submission(body))
             return status, submitted.to_json()
         if path == "/runs" and method == "GET":
             offset, limit = parse_pagination(query)
@@ -283,8 +417,9 @@ class ServiceApp:
             record = self.store.get(int(match.group(1)))
             if record is None:
                 return 404, ApiError(
-                    error="not found",
-                    detail=f"no run {match.group(1)}",
+                    code="not_found",
+                    message=f"no run {match.group(1)}",
+                    hint="list runs at GET /v1/runs",
                 ).to_json()
             return 200, record.view(self._clock()).to_json()
         match = _REPORT_PATH.match(path)
@@ -296,14 +431,45 @@ class ServiceApp:
         match = _RUN_METRICS_PATH.match(path)
         if match and method == "GET":
             return self._run_metrics(int(match.group(1)))
-        if path in ("/healthz", "/metrics", "/runs", "/alerts") \
-                or _RUN_PATH.match(path) or _REPORT_PATH.match(path) \
-                or _EVENTS_PATH.match(path) or _RUN_METRICS_PATH.match(path):
+        if self._known_path(path):
             return 405, ApiError(
-                error="method not allowed",
-                detail=f"{method} {path}",
+                code="method_not_allowed",
+                message=f"{method} {path}",
+                hint="see docs/API.md for each route's methods",
             ).to_json()
-        return 404, ApiError(error="not found", detail=path).to_json()
+        return 404, ApiError(
+            code="not_found", message=f"no route {path}",
+            hint=f"canonical routes live under {API_PREFIX}/",
+        ).to_json()
+
+    def _not_finished(self, record: RunRecord,
+                      run_id: int) -> Optional[Tuple[int, str]]:
+        """The shared 409/410 ladder for result-bearing endpoints."""
+        if record.state == "interrupted":
+            return 409, ApiError(
+                code="run_interrupted",
+                message=record.error or "run interrupted",
+                hint="resubmit the same config (same digest) to re-run",
+            ).to_json()
+        if record.state == "failed":
+            return 409, ApiError(
+                code="run_failed", message=record.error or "run failed",
+                hint="fix the config or resubmit; failed digests re-run",
+            ).to_json()
+        if record.state != "done":
+            return 409, ApiError(
+                code="run_not_finished",
+                message=f"run {run_id} is {record.state}",
+                hint=f"poll /v1/runs/{run_id} or stream "
+                     f"/v1/runs/{run_id}/events until done",
+            ).to_json()
+        if record.payload is None:
+            return 410, ApiError(
+                code="result_evicted",
+                message="the result cache dropped this run's payload",
+                hint="resubmit the config to re-run it",
+            ).to_json()
+        return None
 
     def _events(self, run_id: int,
                 query: Dict[str, str]) -> Tuple[int, str]:
@@ -312,7 +478,8 @@ class ServiceApp:
         record = self.store.get(run_id)
         if record is None:
             return 404, ApiError(
-                error="not found", detail=f"no run {run_id}",
+                code="not_found", message=f"no run {run_id}",
+                hint="list runs at GET /v1/runs",
             ).to_json()
         raw = query.get("since", "-1")
         try:
@@ -337,29 +504,18 @@ class ServiceApp:
         record = self.store.get(run_id)
         if record is None:
             return 404, ApiError(
-                error="not found", detail=f"no run {run_id}",
+                code="not_found", message=f"no run {run_id}",
+                hint="list runs at GET /v1/runs",
             ).to_json()
-        if record.state == "failed":
-            return 409, ApiError(
-                error="run failed", detail=record.error or "",
-            ).to_json()
-        if record.state != "done":
-            return 409, ApiError(
-                error="run not finished",
-                detail=f"run {run_id} is {record.state}; stream "
-                       f"/runs/{run_id}/events meanwhile",
-            ).to_json()
-        if record.payload is None:
-            return 410, ApiError(
-                error="result evicted",
-                detail="the result cache dropped this run's payload; "
-                       "resubmit the config to re-run",
-            ).to_json()
+        blocked = self._not_finished(record, run_id)
+        if blocked is not None:
+            return blocked
         text = record.payload.get("metrics_text")
         if not isinstance(text, str):
             return 404, ApiError(
-                error="not found",
-                detail="this run predates metrics exposition",
+                code="not_found",
+                message="this run predates metrics exposition",
+                hint="resubmit the config to get a metrics-bearing run",
             ).to_json()
         return 200, text
 
@@ -368,58 +524,59 @@ class ServiceApp:
         record = self.store.get(run_id)
         if record is None:
             return 404, ApiError(
-                error="not found", detail=f"no run {run_id}",
+                code="not_found", message=f"no run {run_id}",
+                hint="list runs at GET /v1/runs",
             ).to_json()
         if kind not in REPORT_KINDS:
             return 404, ApiError(
-                error="not found",
-                detail=f"unknown report kind {kind!r}; "
-                       f"one of {list(REPORT_KINDS)}",
+                code="not_found",
+                message=f"unknown report kind {kind!r}",
+                hint=f"one of {list(REPORT_KINDS)}",
             ).to_json()
-        if record.state == "failed":
-            return 409, ApiError(
-                error="run failed", detail=record.error or "",
-            ).to_json()
-        if record.state != "done":
-            return 409, ApiError(
-                error="run not finished",
-                detail=f"run {run_id} is {record.state}; poll "
-                       f"/runs/{run_id} until done",
-            ).to_json()
-        if record.payload is None:
-            return 410, ApiError(
-                error="result evicted",
-                detail="the result cache dropped this run's payload; "
-                       "resubmit the config to re-run",
-            ).to_json()
+        blocked = self._not_finished(record, run_id)
+        if blocked is not None:
+            return blocked
         offset, limit = parse_pagination(query)
         rows = record.payload["reports"][kind]  # type: ignore[index]
         return 200, paginate(rows, offset, limit).to_json()
 
     # -- lifecycle -------------------------------------------------------------
     def close(self, drain: bool = True, timeout: float = 300.0) -> bool:
-        """Shut the queue down (optionally draining accepted work)."""
-        return self.queue.shutdown(drain=drain, timeout=timeout)
+        """Shut the queue down.  With ``drain`` the accepted work
+        finishes; whatever stays queued is journaled ``interrupted``
+        (resubmittable), never silently dropped."""
+        finished = self.queue.shutdown(drain=drain, timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
+        return finished
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Thin socket adapter over :meth:`ServiceApp.handle`."""
+    """Thin socket adapter over :meth:`ServiceApp.respond`."""
 
     app: ServiceApp  # set by ReproService's handler subclass
-    server_version = "repro-grid-service/1.0"
+    server_version = "repro-grid-service/2.0"
     protocol_version = "HTTP/1.1"
 
     def _dispatch(self, method: str) -> None:
+        from urllib.parse import parse_qsl, urlsplit
         split = urlsplit(self.path)
         query = dict(parse_qsl(split.query))
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
+        bare, versioned = strip_version(split.path)
         if (method == "GET" and "since" not in query
-                and _EVENTS_PATH.match(split.path)):
-            match = _EVENTS_PATH.match(split.path)
-            self._stream_events(int(match.group(1)))  # type: ignore[union-attr]
+                and _EVENTS_PATH.match(bare)):
+            match = _EVENTS_PATH.match(bare)
+            extra = []
+            if not versioned:
+                extra = [("Deprecation", "true"),
+                         ("Link", f'<{API_PREFIX}{bare}>; '
+                                  f'rel="successor-version"')]
+            self._stream_events(int(match.group(1)), extra)  # type: ignore[union-attr]
             return
-        status, payload = self.app.handle(method, split.path, query, body)
+        status, payload, headers = self.app.respond(
+            method, split.path, query, body)
         data = payload.encode("utf-8")
         content_type = "application/json"
         if status == 200 and self.app.wants_text(split.path, query):
@@ -427,11 +584,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
-    def _stream_events(self, run_id: int) -> None:
-        """``GET /runs/{id}/events`` without ``?since=``: the SSE path.
+    def _stream_events(self, run_id: int,
+                       extra_headers: Optional[List[Tuple[str, str]]] = None,
+                       ) -> None:
+        """``GET /v1/runs/{id}/events`` without ``?since=``: the SSE
+        path.
 
         Streams the run's ProgressLog as Server-Sent Events until the
         run reaches a terminal state (then an ``end`` frame and EOF).
@@ -442,11 +604,14 @@ class _Handler(BaseHTTPRequestHandler):
         record = self.app.store.get(run_id)
         if record is None:
             payload = ApiError(
-                error="not found", detail=f"no run {run_id}",
+                code="not_found", message=f"no run {run_id}",
+                hint="list runs at GET /v1/runs",
             ).to_json().encode("utf-8")
             self.send_response(404)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
+            for name, value in extra_headers or []:
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(payload)
             return
@@ -458,6 +623,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Connection", "close")
+        for name, value in extra_headers or []:
+            self.send_header(name, value)
         self.end_headers()
         self.close_connection = True
         log = record.progress
@@ -499,7 +666,9 @@ class ReproService:
     ``port=0`` binds an ephemeral port (read it back from ``.port`` —
     the integration suite's pattern).  ``start()`` serves on a
     background thread; ``close(drain=True)`` stops intake, lets queued
-    runs finish, and tears the listener down.
+    runs finish, and tears the listener down.  ``state_dir`` makes the
+    run registry durable: a later service on the same dir resumes with
+    every prior run intact.
     """
 
     def __init__(
@@ -511,10 +680,13 @@ class ReproService:
         cache_bytes: int = 64 * 1024 * 1024,
         app: Optional[ServiceApp] = None,
         pool_factory: Optional[Callable] = None,
+        state_dir: Optional[str] = None,
+        quota_per_client: int = 0,
     ) -> None:
         self.app = app if app is not None else ServiceApp(
             workers=workers, queue_depth=queue_depth,
             cache_bytes=cache_bytes, pool_factory=pool_factory,
+            state_dir=state_dir, quota_per_client=quota_per_client,
         )
 
         class _BoundHandler(_Handler):
@@ -567,26 +739,39 @@ def serve(
     host: str = "127.0.0.1",
     queue_depth: int = 64,
     cache_bytes: int = 64 * 1024 * 1024,
+    state_dir: Optional[str] = None,
+    quota_per_client: int = 16,
     out: Callable[[str], None] = print,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` body)."""
     service = ReproService(
         host=host, port=port, workers=workers,
         queue_depth=queue_depth, cache_bytes=cache_bytes,
+        state_dir=state_dir, quota_per_client=quota_per_client,
     )
+    durable = f"durable registry at {state_dir}" if state_dir \
+        else "in-memory registry (pass --state-dir to survive restarts)"
+    recovered = service.app.store.recovered_interrupted
     out(f"grid-as-a-service listening on {service.url} "
-        f"({workers} worker(s), queue depth {queue_depth})")
-    out(f"  POST {service.url}/runs                submit a simulation")
-    out(f"  GET  {service.url}/runs                list runs (paginated)")
-    out(f"  GET  {service.url}/runs/<id>           poll its state")
-    out(f"  GET  {service.url}/runs/<id>/events    live progress "
+        f"({workers} worker(s), queue depth {queue_depth}, {durable})")
+    if recovered:
+        out(f"  recovered {len(service.app.store)} run(s) from the journal; "
+            f"{recovered} interrupted run(s) are resubmittable")
+    out(f"  POST {service.url}/v1/runs                submit a simulation "
+        f"(client= and lane= for admission)")
+    out(f"  GET  {service.url}/v1/runs                list runs (paginated)")
+    out(f"  GET  {service.url}/v1/runs/<id>           poll its state")
+    out(f"  GET  {service.url}/v1/runs/<id>/events    live progress "
         f"(SSE; ?since=seq polls)")
-    out(f"  GET  {service.url}/runs/<id>/report/ops|troubleshooting|trace")
-    out(f"  GET  {service.url}/runs/<id>/metrics   finished run's "
+    out(f"  GET  {service.url}/v1/runs/<id>/report/"
+        f"ops|troubleshooting|trace")
+    out(f"  GET  {service.url}/v1/runs/<id>/metrics   finished run's "
         f"Prometheus exposition")
-    out(f"  GET  {service.url}/healthz             liveness")
-    out(f"  GET  {service.url}/metrics             Prometheus text "
+    out(f"  GET  {service.url}/v1/healthz             liveness + durability")
+    out(f"  GET  {service.url}/v1/metrics             Prometheus text "
         f"(?format=json for flat JSON)")
-    out(f"  GET  {service.url}/alerts              live alert-rule states")
+    out(f"  GET  {service.url}/v1/alerts              live alert-rule states")
+    out("  (legacy unversioned paths still answer, with a Deprecation "
+        "header)")
     service.serve_forever()
     return 0

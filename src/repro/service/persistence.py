@@ -1,0 +1,197 @@
+"""The durable run registry backend: an append-only sqlite journal.
+
+Grid3 ran as a *persistent* production service — the grid survived
+component restarts and resumed with its accounting intact (§5–6).  The
+HTTP front end earns the same property here: every
+:class:`~repro.service.store.RunStore` mutation appends one immutable
+record to a stdlib :mod:`sqlite3` journal under ``--state-dir``
+(WAL-journaled, so a reader never blocks the appender and a crash never
+tears a record), and a restarting server replays the journal to
+reconstruct every run — state machine, cached result digest, and the
+exact report bytes — before accepting traffic.
+
+The journal is **append-only**: state transitions are new rows, never
+updates, so replay is a pure left fold and the file doubles as an audit
+log.  Runs that were ``queued`` or ``running`` when the process died
+have no terminal row; replay re-marks them ``interrupted`` (appending
+the terminal row it never got to write) so an identical resubmission
+re-runs cleanly instead of joining a ghost.
+
+Event kinds, in lifecycle order::
+
+    created          digest/client/lane in ``data``, pickled config in ``blob``
+    running          started
+    done             payload_bytes in ``data``, sorted-key JSON payload in ``blob``
+    failed           error in ``data``
+    interrupted      shutdown/crash before completion (terminal, resubmittable)
+    payload_dropped  result-cache eviction (metadata survives, bytes do not)
+
+Configs cross this boundary as pickle blobs — they already cross the
+``ProcessPoolExecutor`` boundary the same way, so anything submittable
+is journalable by construction.  Payloads cross as the exact sorted-key
+JSON bytes the service serves, so a replayed run's report pages are
+byte-identical to what the original process returned.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: The journal's schema version (bumped only on incompatible change).
+SCHEMA_VERSION = 1
+
+#: Journal row kinds, in the order a healthy run emits them.
+EVENT_KINDS = (
+    "created", "running", "done", "failed", "interrupted", "payload_dropped",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS journal (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL,
+    kind   TEXT NOT NULL,
+    at     REAL NOT NULL,
+    data   TEXT NOT NULL DEFAULT '{}',
+    blob   BLOB
+);
+CREATE INDEX IF NOT EXISTS journal_by_run ON journal (run_id, seq);
+"""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One replayed journal row (already decoded)."""
+
+    seq: int
+    run_id: int
+    kind: str
+    at: float
+    data: Dict[str, object]
+    blob: Optional[bytes]
+
+
+class JournalError(Exception):
+    """The journal file is unusable (version mismatch, corruption)."""
+
+
+class RunJournal:
+    """Append-only sqlite3 journal of run-registry mutations.
+
+    Thread-safe: HTTP handler threads and queue dispatcher threads
+    append concurrently (one connection, one lock — sqlite serialises
+    writers anyway, so a single guarded connection is the fast shape).
+    ``replay()`` returns every row in append order; the store folds
+    them back into records.
+    """
+
+    def __init__(self, state_dir) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.state_dir / "runs.sqlite3"
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, timeout=30.0,
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            self._conn.close()
+            raise JournalError(
+                f"{self.path} has schema version {row[0]}, this build "
+                f"expects {SCHEMA_VERSION}; move the state dir aside"
+            )
+
+    # -- writes ---------------------------------------------------------------
+    def append(
+        self,
+        run_id: int,
+        kind: str,
+        at: float,
+        data: Optional[Dict[str, object]] = None,
+        blob: Optional[bytes] = None,
+    ) -> None:
+        """Append one immutable lifecycle row and fsync-commit it.
+
+        Appends after :meth:`close` are dropped silently: they are
+        late-shutdown stragglers (a worker finishing after the drain
+        window closed) whose runs the next replay re-marks
+        ``interrupted`` — recording a result the service never served
+        would be the lie.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown journal kind {kind!r}")
+        payload = json.dumps(data or {}, sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            self._conn.execute(
+                "INSERT INTO journal (run_id, kind, at, data, blob) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (run_id, kind, at, payload, blob),
+            )
+            self._conn.commit()
+
+    # -- reads ----------------------------------------------------------------
+    def replay(self) -> List[JournalEntry]:
+        """Every journal row, append order — the boot-time fold input."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, run_id, kind, at, data, blob "
+                "FROM journal ORDER BY seq"
+            ).fetchall()
+        return [
+            JournalEntry(
+                seq=seq, run_id=run_id, kind=kind, at=at,
+                data=json.loads(data), blob=blob,
+            )
+            for seq, run_id, kind, at, data, blob in rows
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM journal"
+            ).fetchone()[0]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.commit()
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+
+    # -- config (de)hydration --------------------------------------------------
+    @staticmethod
+    def encode_config(config) -> bytes:
+        """A config as a journal blob (pickle: the same contract as the
+        worker-pool boundary, so submittable implies journalable)."""
+        return pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def decode_config(blob: bytes):
+        return pickle.loads(blob)

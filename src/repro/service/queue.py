@@ -1,30 +1,36 @@
 """The bounded job queue and its out-of-process worker pool.
 
-Submissions land in a bounded FIFO; ``workers`` dispatcher threads pull
-from it and run each simulation **out of process** on a
+Submissions land in a bounded pending list; ``workers`` dispatcher
+threads pull from it and run each simulation **out of process** on a
 :class:`~concurrent.futures.ProcessPoolExecutor` (the same fan-out
 substrate the lab's :func:`~repro.lab.run_experiment` uses — a Grid3
 run is CPU-bound, so it must not share the server's GIL).  Only plain
 data crosses the boundary: the picklable :class:`~repro.Grid3Config`
 goes out, the JSON-able report payload comes back.
 
+Dispatch order is pluggable: with an
+:class:`~repro.service.admission.AdmissionPolicy` the next run is the
+fair-share pick (lane first, then the least-recently-greedy client);
+without one, strict FIFO — byte-for-byte the pre-admission behaviour.
+
 The queue enforces the service's backpressure contract: when
 ``depth`` submissions are already queued or running, further submits
 raise :class:`QueueFullError` (the app maps it to 429) instead of
 buffering without bound.  ``shutdown(drain=True)`` stops intake, lets
-every queued run finish, then tears the pool down — the graceful-drain
-path the integration suite exercises.
+every queued run finish, then tears the pool down.  Runs still queued
+when the drain window closes are **not dropped**: each is handed to
+``on_interrupted`` so the (now durable) registry records it as
+``interrupted`` and a restart can resubmit it.
 """
 
 from __future__ import annotations
 
 import inspect
 import multiprocessing as _mp
-import queue as _queue
 import threading
 import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.grid3 import Grid3, Grid3Config
 from ..errors import GridError
@@ -97,7 +103,7 @@ def _accepts_progress(runner: Callable) -> bool:
 
 
 class JobQueue:
-    """Bounded FIFO + dispatcher threads + process worker pool."""
+    """Bounded pending list + dispatcher threads + process worker pool."""
 
     def __init__(
         self,
@@ -108,6 +114,8 @@ class JobQueue:
         on_start: Optional[Callable[[RunRecord], None]] = None,
         on_done: Optional[Callable[[RunRecord, Dict[str, object]], None]] = None,
         on_error: Optional[Callable[[RunRecord, str], None]] = None,
+        on_interrupted: Optional[Callable[[RunRecord], None]] = None,
+        admission=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -119,8 +127,13 @@ class JobQueue:
         self._on_start = on_start
         self._on_done = on_done
         self._on_error = on_error
-        self._tasks: "_queue.Queue[RunRecord]" = _queue.Queue()
+        self._on_interrupted = on_interrupted
+        #: The dispatch-order policy (None = FIFO).
+        self.admission = admission
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: Submission-ordered runs awaiting a dispatcher.
+        self._queue: List[RunRecord] = []
         self._stop = threading.Event()
         self._accepting = True
         self._pending = 0     # queued + running
@@ -145,7 +158,7 @@ class JobQueue:
     # -- intake ---------------------------------------------------------------
     def submit(self, record: RunRecord) -> None:
         """Enqueue one run; raises :class:`QueueFullError` at the bound."""
-        with self._lock:
+        with self._cond:
             if not self._accepting:
                 raise QueueFullError("service is shutting down")
             if self._pending >= self.max_depth:
@@ -155,21 +168,45 @@ class JobQueue:
                     f"running); retry later"
                 )
             self._pending += 1
-        self._tasks.put(record)
+            self._queue.append(record)
+            self._cond.notify()
+
+    def pending_records(self) -> List[RunRecord]:
+        """Snapshot of runs queued but not yet dispatched (submission
+        order) — the admission metrics read this."""
+        with self._lock:
+            return list(self._queue)
 
     # -- dispatch -------------------------------------------------------------
+    def _take(self) -> Optional[RunRecord]:
+        """Block for the next record per the admission order (None on
+        stop)."""
+        with self._cond:
+            while not self._queue:
+                if self._stop.is_set():
+                    return None
+                self._cond.wait(timeout=0.1)
+            if self._stop.is_set():
+                return None  # leave leftovers for shutdown's interrupt pass
+            if self.admission is not None:
+                record = self.admission.select(self._queue)
+                if record is None:  # defensive: policy declined
+                    record = self._queue[0]
+                self._queue.remove(record)
+            else:
+                record = self._queue.pop(0)
+            return record
+
     def _loop(self) -> None:
         while not self._stop.is_set():
-            try:
-                record = self._tasks.get(timeout=0.1)
-            except _queue.Empty:
+            record = self._take()
+            if record is None:
                 continue
             try:
                 self._run_one(record)
             finally:
                 with self._lock:
                     self._pending -= 1
-                self._tasks.task_done()
 
     def _run_one(self, record: RunRecord) -> None:
         with self._lock:
@@ -302,13 +339,26 @@ class JobQueue:
     def shutdown(self, drain: bool = True, timeout: float = 300.0) -> bool:
         """Stop intake, optionally drain, stop threads, kill the pool.
 
+        Runs still *queued* (never dispatched) when the window closes
+        are handed to ``on_interrupted`` — with a durable registry that
+        persists them as resubmittable instead of dropping them.
         Returns True if every accepted run completed before teardown.
         """
-        with self._lock:
+        with self._cond:
             self._accepting = False
         drained = self.drain(timeout) if drain else False
         self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        # Persist (don't drop) whatever never got dispatched.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._pending -= len(leftovers)
+        for record in leftovers:
+            if self._on_interrupted is not None:
+                self._on_interrupted(record)
         self._pool.shutdown(wait=False, cancel_futures=True)
-        return drained
+        return drained and not leftovers

@@ -7,24 +7,48 @@ the response body — the §8 "direct information" principle applied to
 the API's own errors.  Responses are frozen dataclasses on the shared
 :class:`~repro.core.results.ReportRecord` convention, so every wire
 payload is sorted-key JSON.
+
+Since the v1 redesign every non-2xx response shares **one envelope**::
+
+    {"error": {"code": "...", "message": "...", "hint": "..."}}
+
+``code`` is a stable machine-readable slug (see ``ERROR_CODES``),
+``message`` says what happened, and ``hint`` says what to do about it —
+did-you-mean suggestions live there, not inside the message.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.grid3 import Grid3Config
 from ..core.results import ReportRecord
 from ..errors import GridError
 
-#: Body keys `POST /runs` accepts.
-_REQUEST_KEYS = ("config", "scenario")
+#: Body keys `POST /v1/runs` accepts.
+_REQUEST_KEYS = ("config", "scenario", "client", "lane")
 
 #: Knobs that cannot cross the JSON boundary (they take live objects);
 #: scenarios are the supported way to get non-default values for them.
 _NON_WIRE_KNOBS = ("failures",)
+
+#: Every machine-readable error code the API can answer with, mapped to
+#: its meaning (documented in docs/API.md; the test suite asserts the
+#: envelope only ever carries one of these).
+ERROR_CODES = {
+    "bad_request": "the request body or query failed validation",
+    "not_found": "no such route, run, or report kind",
+    "method_not_allowed": "the route exists but not for this method",
+    "queue_full": "the bounded job queue is at depth",
+    "quota_exceeded": "the client is at its per-client active-run quota",
+    "run_failed": "the referenced run ended in failure",
+    "run_not_finished": "the referenced run has not completed yet",
+    "run_interrupted": "the run was interrupted by a service shutdown",
+    "result_evicted": "the result cache dropped this run's payload",
+    "internal_error": "unhandled server-side exception",
+}
 
 
 class SchemaError(GridError):
@@ -33,15 +57,47 @@ class SchemaError(GridError):
 
 @dataclass(frozen=True)
 class ApiError(ReportRecord):
-    """The error payload every non-2xx response carries."""
+    """The uniform error envelope every non-2xx response carries."""
 
-    error: str
-    detail: str = ""
+    code: str
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"error": {"code": self.code, "message": self.message,
+                          "hint": self.hint}}
+
+
+def split_hint(message: str) -> Tuple[str, str]:
+    """Split a validation message into ``(message, hint)``.
+
+    Did-you-mean suggestions (the config validator appends
+    ``"; did you mean 'x'?"``) move into the envelope's ``hint`` field.
+    """
+    marker = "; did you mean "
+    if marker in message:
+        head, _, tail = message.partition(marker)
+        return head, "did you mean " + tail
+    return message, ""
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One validated `POST /v1/runs` submission.
+
+    ``client`` is the fair-share/quota accounting identity (free-form
+    string; defaults to ``"anonymous"``); ``lane`` picks the dispatch
+    lane (``"interactive"`` beats ``"batch"``).
+    """
+
+    config: Grid3Config
+    client: str = "anonymous"
+    lane: str = "batch"
 
 
 @dataclass(frozen=True)
 class RunSubmitted(ReportRecord):
-    """`POST /runs` response: where the submission landed.
+    """`POST /v1/runs` response: where the submission landed.
 
     ``dedup`` is ``"new"`` (a simulation was enqueued), ``"joined"``
     (an identical run is already queued/running — same id returned), or
@@ -57,15 +113,19 @@ class RunSubmitted(ReportRecord):
 
 @dataclass(frozen=True)
 class RunView(ReportRecord):
-    """`GET /runs/{id}` response: the run's state machine, observable.
+    """`GET /v1/runs/{id}` response: the run's state machine, observable.
 
-    States walk ``queued -> running -> done | failed``; ``elapsed_s``
-    is wall time since submission (until completion, once finished).
+    States walk ``queued -> running -> done | failed | interrupted``;
+    ``elapsed_s`` is wall time since submission (until completion, once
+    finished).  ``client``/``lane`` are the admission identity the run
+    was accounted under.
     """
 
     run_id: int
     state: str
     digest: str
+    client: str
+    lane: str
     elapsed_s: float
     submitted_at: float
     started_at: Optional[float]
@@ -76,17 +136,19 @@ class RunView(ReportRecord):
 
 @dataclass(frozen=True)
 class HealthView(ReportRecord):
-    """`GET /healthz` response."""
+    """`GET /v1/healthz` response."""
 
     status: str
     uptime_s: float
     queue_depth: int
     workers: int
+    durable: bool
+    recovered_runs: int
 
 
 @dataclass(frozen=True)
 class RunEvents(ReportRecord):
-    """`GET /runs/{id}/events?since=N` response: the delta-poll view.
+    """`GET /v1/runs/{id}/events?since=N` response: the delta-poll view.
 
     ``events`` are every progress event with ``seq > since`` (the same
     deterministic sequence the SSE stream carries); ``next_since`` is
@@ -103,18 +165,21 @@ class RunEvents(ReportRecord):
     events: List[Dict[str, object]]
 
 
-def parse_run_request(body: bytes) -> Grid3Config:
-    """Parse and validate a `POST /runs` body into a :class:`Grid3Config`.
+def parse_submission(body: bytes) -> RunRequest:
+    """Parse and validate a `POST /v1/runs` body.
 
     The body is ``{"config": {<Grid3Config knobs>}}``, optionally with
     ``"scenario": "<name>"`` to start from a canned scenario config
-    (knobs in ``config`` override it, mirroring the CLI).  Every
+    (knobs in ``config`` override it, mirroring the CLI),
+    ``"client": "<id>"`` naming the submitter for fair-share/quota
+    accounting, and ``"lane": "interactive"|"batch"``.  Every
     validation failure raises :class:`SchemaError` with an actionable
     message; unknown knobs get the same did-you-mean treatment as
     :meth:`Grid3Config.validate`.
     """
     from ..errors import ConfigurationError
     from ..scenarios import SCENARIOS
+    from .admission import LANES
 
     try:
         payload = json.loads(body or b"{}")
@@ -128,6 +193,21 @@ def parse_run_request(body: bytes) -> Grid3Config:
     if unknown:
         raise SchemaError(
             f"unknown request key(s) {unknown!r}; accepted: {list(_REQUEST_KEYS)}"
+        )
+
+    client = payload.get("client", "anonymous")
+    if not isinstance(client, str) or not client.strip():
+        raise SchemaError(
+            f"'client' must be a non-empty string, got {client!r}"
+        )
+    client = client.strip()
+    if len(client) > 128:
+        raise SchemaError("'client' must be at most 128 characters")
+
+    lane = payload.get("lane", "batch")
+    if lane not in LANES:
+        raise SchemaError(
+            f"unknown lane {lane!r}; one of {list(LANES)}"
         )
 
     scenario = payload.get("scenario")
@@ -168,7 +248,13 @@ def parse_run_request(body: bytes) -> Grid3Config:
         raise SchemaError(str(exc)) from exc
     except (TypeError, ValueError) as exc:
         raise SchemaError(f"invalid knob value: {exc}") from exc
-    return config
+    return RunRequest(config=config, client=client, lane=lane)
+
+
+def parse_run_request(body: bytes) -> Grid3Config:
+    """Back-compat shim: the validated config alone (pre-admission
+    callers).  New code wants :func:`parse_submission`."""
+    return parse_submission(body).config
 
 
 def parse_pagination(

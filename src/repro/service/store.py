@@ -1,13 +1,24 @@
-"""The completed-run registry: every submission's state machine + results.
+"""The run registry: every submission's state machine + results.
 
 One :class:`RunRecord` per *distinct* simulation (dedup means an
 identical resubmission returns the existing record's id rather than
 minting a new one).  The store owns the ``queued -> running -> done |
-failed`` transitions and the digest index the dedup path looks up; the
-byte-budgeted decision of *which* finished payloads stay resident
-belongs to :class:`~repro.service.cache.ResultCache` — when the cache
-evicts a run, the store drops its payload and unlinks the digest so a
-future identical submission re-runs.
+failed | interrupted`` transitions and the digest index the dedup path
+looks up; the byte-budgeted decision of *which* finished payloads stay
+resident belongs to :class:`~repro.service.cache.ResultCache` — when
+the cache evicts a run, the store drops its payload and unlinks the
+digest so a future identical submission re-runs.
+
+Durability is pluggable: hand the store a
+:class:`~repro.service.persistence.RunJournal` and every transition is
+appended to the sqlite journal *inside* the mutating critical section,
+so the on-disk order always matches the in-memory order.  A store
+constructed over a non-empty journal replays it first — finished runs
+come back with their exact payload bytes, and runs that were still
+``queued``/``running`` when the process died are re-marked
+``interrupted`` (a terminal, resubmittable state: the digest index
+skips them, so submitting the same config re-runs instead of joining a
+ghost).
 
 All methods are thread-safe: HTTP handler threads and queue dispatcher
 threads touch the same records.
@@ -15,31 +26,47 @@ threads touch the same records.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from typing import Dict, List, Optional
 
 from ..core.grid3 import Grid3Config
+from .persistence import RunJournal
 from .progress import ProgressLog
 from .schemas import RunView
 
-#: Legal states, in lifecycle order.
-STATES = ("queued", "running", "done", "failed")
+#: Legal states, in lifecycle order.  ``interrupted`` is terminal: the
+#: service stopped (gracefully or not) before the run completed; the
+#: config is intact and a resubmission re-runs it.
+STATES = ("queued", "running", "done", "failed", "interrupted")
+
+#: The error string an interrupted record carries (also the API hint).
+INTERRUPTED_ERROR = (
+    "run interrupted by service shutdown before completion; "
+    "resubmit the same config to re-run it"
+)
 
 
 class RunRecord:
     """One submitted simulation: config, state, timestamps, results."""
 
     __slots__ = (
-        "run_id", "digest", "config", "state", "submitted_at", "started_at",
-        "finished_at", "error", "payload", "payload_bytes", "progress",
+        "run_id", "digest", "config", "client", "lane", "state",
+        "submitted_at", "started_at", "finished_at", "error", "payload",
+        "payload_bytes", "progress",
     )
 
     def __init__(self, run_id: int, digest: str, config: Grid3Config,
-                 submitted_at: float) -> None:
+                 submitted_at: float, client: str = "anonymous",
+                 lane: str = "batch") -> None:
         self.run_id = run_id
         self.digest = digest
         self.config = config
+        #: Who submitted (the fair-share/quota accounting key).
+        self.client = client
+        #: Admission lane: ``interactive`` dispatches before ``batch``.
+        self.lane = lane
         self.state = "queued"
         self.submitted_at = submitted_at
         self.started_at: Optional[float] = None
@@ -63,6 +90,8 @@ class RunRecord:
             run_id=self.run_id,
             state=self.state,
             digest=self.digest,
+            client=self.client,
+            lane=self.lane,
             elapsed_s=round(max(0.0, end - self.submitted_at), 6),
             submitted_at=self.submitted_at,
             started_at=self.started_at,
@@ -73,23 +102,106 @@ class RunRecord:
 
 
 class RunStore:
-    """Registry of every run, with the digest index dedup consults."""
+    """Registry of every run, with the digest index dedup consults.
 
-    def __init__(self, clock=time.time) -> None:
+    ``journal=None`` keeps the pre-durability in-memory behaviour
+    byte-for-byte; with a journal every mutation is persisted and the
+    constructor replays whatever the journal already holds.
+    """
+
+    def __init__(self, clock=time.time,
+                 journal: Optional[RunJournal] = None) -> None:
         self._clock = clock
         self._lock = threading.RLock()
         self._runs: Dict[int, RunRecord] = {}
         self._by_digest: Dict[str, int] = {}
         self._seq = 0
+        self._journal = journal
+        #: Runs recovered as ``interrupted`` at the last replay (the
+        #: restart-visibility number ``/healthz`` and metrics report).
+        self.recovered_interrupted = 0
+        if journal is not None:
+            self._replay(journal)
+
+    # -- journal replay -------------------------------------------------------
+    def _replay(self, journal: RunJournal) -> None:
+        """Fold the journal back into records (boot path, pre-traffic)."""
+        with self._lock:
+            for entry in journal.replay():
+                record = self._runs.get(entry.run_id)
+                if entry.kind == "created":
+                    config = journal.decode_config(entry.blob)
+                    record = RunRecord(
+                        entry.run_id,
+                        str(entry.data["digest"]),
+                        config,
+                        entry.at,
+                        client=str(entry.data.get("client", "anonymous")),
+                        lane=str(entry.data.get("lane", "batch")),
+                    )
+                    self._runs[record.run_id] = record
+                    self._by_digest[record.digest] = record.run_id
+                    self._seq = max(self._seq, record.run_id)
+                elif record is None:
+                    continue  # a torn journal head; skip orphan rows
+                elif entry.kind == "running":
+                    record.state = "running"
+                    record.started_at = entry.at
+                elif entry.kind == "done":
+                    record.state = "done"
+                    record.finished_at = entry.at
+                    record.payload = json.loads(entry.blob.decode("utf-8"))
+                    record.payload_bytes = int(
+                        entry.data.get("payload_bytes", len(entry.blob)))
+                elif entry.kind == "failed":
+                    record.state = "failed"
+                    record.finished_at = entry.at
+                    record.error = str(entry.data.get("error", ""))
+                elif entry.kind == "interrupted":
+                    record.state = "interrupted"
+                    record.finished_at = entry.at
+                    record.error = INTERRUPTED_ERROR
+                    if self._by_digest.get(record.digest) == record.run_id:
+                        del self._by_digest[record.digest]
+                elif entry.kind == "payload_dropped":
+                    record.payload = None
+                    record.payload_bytes = 0
+                    if self._by_digest.get(record.digest) == record.run_id:
+                        del self._by_digest[record.digest]
+            # Crash recovery: anything non-terminal got no terminal row
+            # before the old process died.  Append the row it was owed.
+            now = self._clock()
+            for run_id in sorted(self._runs):
+                record = self._runs[run_id]
+                if record.state in ("queued", "running"):
+                    record.state = "interrupted"
+                    record.finished_at = now
+                    record.error = INTERRUPTED_ERROR
+                    if self._by_digest.get(record.digest) == run_id:
+                        del self._by_digest[record.digest]
+                    self.recovered_interrupted += 1
+                    journal.append(run_id, "interrupted", now)
+            # No replayed run has a live worker: close every log so SSE
+            # streams against recovered runs terminate immediately.
+            for record in self._runs.values():
+                record.progress.close()
 
     # -- creation & lookup --------------------------------------------------
-    def create(self, digest: str, config: Grid3Config) -> RunRecord:
+    def create(self, digest: str, config: Grid3Config,
+               client: str = "anonymous", lane: str = "batch") -> RunRecord:
         """Mint a queued record and index it under ``digest``."""
         with self._lock:
             self._seq += 1
-            record = RunRecord(self._seq, digest, config, self._clock())
+            record = RunRecord(self._seq, digest, config, self._clock(),
+                               client=client, lane=lane)
             self._runs[record.run_id] = record
             self._by_digest[digest] = record.run_id
+            if self._journal is not None:
+                self._journal.append(
+                    record.run_id, "created", record.submitted_at,
+                    {"digest": digest, "client": client, "lane": lane},
+                    RunJournal.encode_config(config),
+                )
             return record
 
     def get(self, run_id: int) -> Optional[RunRecord]:
@@ -112,14 +224,29 @@ class RunStore:
         with self._lock:
             record.state = "running"
             record.started_at = self._clock()
+            if self._journal is not None:
+                self._journal.append(record.run_id, "running",
+                                     record.started_at)
 
     def mark_done(self, record: RunRecord, payload: Dict[str, object],
-                  payload_bytes: int) -> None:
+                  payload_bytes: int, raw: Optional[bytes] = None) -> None:
+        """Finish a run.  ``raw`` is the payload's canonical sorted-key
+        JSON encoding when the caller already has it (the journal stores
+        exactly those bytes, so replay serves byte-identical reports)."""
         with self._lock:
             record.state = "done"
             record.finished_at = self._clock()
             record.payload = payload
             record.payload_bytes = payload_bytes
+            if self._journal is not None:
+                if raw is None:
+                    raw = json.dumps(
+                        payload, sort_keys=True, default=repr,
+                    ).encode("utf-8")
+                self._journal.append(
+                    record.run_id, "done", record.finished_at,
+                    {"payload_bytes": payload_bytes}, raw,
+                )
         # Outside the lock: closing wakes every waiting SSE stream.
         record.progress.close()
 
@@ -131,6 +258,28 @@ class RunStore:
             # A failed digest must not satisfy future dedup lookups as
             # if it had a result; leave the index pointing here so the
             # app can see the failure and choose to re-run.
+            if self._journal is not None:
+                self._journal.append(record.run_id, "failed",
+                                     record.finished_at, {"error": error})
+        record.progress.close()
+
+    def mark_interrupted(self, record: RunRecord) -> None:
+        """Terminal shutdown state for a run that never got to finish:
+        the graceful-drain leftover path (queued work persisted, not
+        dropped) and the crash-replay path both land here."""
+        with self._lock:
+            if record.state in ("done", "failed", "interrupted"):
+                return  # already terminal; nothing to interrupt
+            record.state = "interrupted"
+            record.finished_at = self._clock()
+            record.error = INTERRUPTED_ERROR
+            # Interrupted digests never satisfy dedup: resubmission of
+            # the same config must re-run, not join a dead record.
+            if self._by_digest.get(record.digest) == record.run_id:
+                del self._by_digest[record.digest]
+            if self._journal is not None:
+                self._journal.append(record.run_id, "interrupted",
+                                     record.finished_at)
         record.progress.close()
 
     # -- cache eviction hook -------------------------------------------------
@@ -146,6 +295,8 @@ class RunStore:
             record.payload_bytes = 0
             if self._by_digest.get(record.digest) == run_id:
                 del self._by_digest[record.digest]
+            if self._journal is not None:
+                self._journal.append(run_id, "payload_dropped", self._clock())
 
     def unlink(self, digest: str) -> None:
         """Remove a digest from the dedup index (e.g. before re-running

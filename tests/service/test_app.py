@@ -103,7 +103,8 @@ def test_failed_run_reports_409_and_digest_can_rerun(app):
     status, view = call(app, "GET", f"/runs/{first['run_id']}")
     assert view["state"] == "failed" and "transient" in view["error"]
     status, body = call(app, "GET", f"/runs/{first['run_id']}/report/ops")
-    assert status == 409 and body["error"] == "run failed"
+    assert status == 409 and body["error"]["code"] == "run_failed"
+    assert "transient" in body["error"]["message"]
     # A failed digest does not poison dedup: resubmission re-runs.
     status, second = submit(app, seed=9)
     assert status == 202 and second["dedup"] == "new"
@@ -116,7 +117,7 @@ def test_report_before_done_is_409(app):
     app.queue._runner = lambda config: (gate.wait(10.0), fake_payload(config))[1]
     _, sub = submit(app, seed=2)
     status, body = call(app, "GET", f"/runs/{sub['run_id']}/report/ops")
-    assert status == 409 and body["error"] == "run not finished"
+    assert status == 409 and body["error"]["code"] == "run_not_finished"
     gate.set()
     wait_done(app, sub["run_id"])
 
@@ -128,7 +129,7 @@ def test_evicted_payload_is_410_and_resubmit_reruns(app):
     app.cache.remove(app.store.get(sub["run_id"]).digest)
     app.store.drop_payload(sub["run_id"])
     status, body = call(app, "GET", f"/runs/{sub['run_id']}/report/ops")
-    assert status == 410 and body["error"] == "result evicted"
+    assert status == 410 and body["error"]["code"] == "result_evicted"
     status, again = submit(app, seed=4)
     assert status == 202 and again["dedup"] == "new"
     wait_done(app, again["run_id"])
@@ -146,7 +147,7 @@ def test_queue_full_maps_to_429(app):
         if status == 429:
             break
         assert len(statuses) < 20, "queue depth bound never hit"
-    assert body["error"] == "queue full"
+    assert body["error"]["code"] == "queue_full"
     # The rejected submission is not left indexed: the same config can
     # be resubmitted once the queue clears.
     gate.set()
@@ -155,12 +156,15 @@ def test_queue_full_maps_to_429(app):
 
 def test_malformed_body_is_400(app):
     status, body = call(app, "POST", "/runs", body=b"{nope")
-    assert status == 400 and body["error"] == "bad request"
+    assert status == 400 and body["error"]["code"] == "bad_request"
     status, body = call(
         app, "POST", "/runs",
         body=json.dumps({"config": {"scal": 2}}).encode(),
     )
-    assert status == 400 and "did you mean 'scale'" in body["detail"]
+    assert status == 400
+    # Did-you-mean moved into the envelope's hint field.
+    assert "did you mean 'scale'" in body["error"]["hint"]
+    assert "scal" in body["error"]["message"]
 
 
 def test_unknown_paths_and_methods(app):
@@ -279,6 +283,113 @@ def test_progress_capable_runner_streams_into_record_log():
         assert delta["closed"] is True and delta["next_since"] == 3
     finally:
         instance.close(drain=True, timeout=10.0)
+
+
+def test_v1_and_legacy_paths_answer_identically(app):
+    """Every route answers under /v1 and bare; bare is deprecated."""
+    _, sub = submit(app, seed=6)
+    wait_done(app, sub["run_id"])
+    for path in ("/healthz", "/runs", f"/runs/{sub['run_id']}",
+                 f"/runs/{sub['run_id']}/report/ops", "/alerts"):
+        status_v1, body_v1, headers_v1 = app.respond(
+            "GET", f"/v1{path}", {}, b"")
+        status_old, body_old, headers_old = app.respond("GET", path, {}, b"")
+        assert status_v1 == status_old == 200
+        # healthz/runs views carry a live uptime/elapsed; compare keys.
+        assert json.loads(body_v1).keys() == json.loads(body_old).keys()
+        assert dict(headers_v1) == {}
+        assert dict(headers_old)["Deprecation"] == "true"
+        assert dict(headers_old)["Link"] == \
+            f'</v1{path}>; rel="successor-version"'
+    # Submission works under /v1 too, and dedups against legacy submits.
+    status, again, _ = (lambda s, b, h: (s, json.loads(b), h))(
+        *app.respond("POST", "/v1/runs", {},
+                     json.dumps({"config": {"seed": 6}}).encode()))
+    assert status == 200 and again["dedup"] == "cached"
+
+
+def test_unknown_legacy_path_gets_no_deprecation_header(app):
+    status, body, headers = app.respond("GET", "/nope", {}, b"")
+    assert status == 404
+    assert "Deprecation" not in dict(headers)
+    assert json.loads(body)["error"]["code"] == "not_found"
+
+
+def test_every_error_validates_against_the_envelope(app):
+    """Each non-2xx body is {"error": {code, message, hint}} with a
+    known code — the docs/API.md contract."""
+    from repro.service import ERROR_CODES
+
+    probes = [
+        ("POST", "/v1/runs", {}, b"{nope"),
+        ("GET", "/v1/runs/999", {}, b""),
+        ("GET", "/v1/runs/999/events", {"since": "-1"}, b""),
+        ("GET", "/v1/nope", {}, b""),
+        ("POST", "/v1/healthz", {}, b""),
+        ("DELETE", "/v1/runs", {}, b""),
+        ("GET", "/v1/runs", {"offset": "-3"}, b""),
+    ]
+    for method, path, query, body in probes:
+        status, payload, _headers = app.respond(method, path, query, body)
+        assert status >= 400, (method, path)
+        envelope = json.loads(payload)
+        assert set(envelope) == {"error"}, (method, path)
+        error = envelope["error"]
+        assert set(error) == {"code", "message", "hint"}, (method, path)
+        assert error["code"] in ERROR_CODES, (method, path)
+        assert error["message"], (method, path)
+
+
+def test_healthz_reports_durability(app):
+    status, health = call(app, "GET", "/v1/healthz")
+    assert status == 200
+    assert health["durable"] is False  # no state_dir in this fixture
+    assert health["recovered_runs"] == 0
+
+
+def test_admission_metrics_present_on_idle_app(app):
+    gauges = app.service_metrics()
+    assert gauges["service.admission.quota"] == 0.0
+    assert gauges["service.admission.quota_rejections"] == 0.0
+    assert gauges["service.admission.active_runs"] == 0.0
+    assert "service.admission.mean_run_s" in gauges
+    assert gauges["service.runs.recovered"] == 0
+
+
+def test_submit_with_client_and_lane_lands_on_the_record(app):
+    body = json.dumps({"config": {"seed": 11}, "client": "alice",
+                       "lane": "interactive"}).encode()
+    status, sub = call(app, "POST", "/v1/runs", body=body)
+    assert status == 202
+    view = wait_done(app, sub["run_id"])
+    assert view["client"] == "alice" and view["lane"] == "interactive"
+
+
+def test_quota_breach_is_429_with_retry_after(app):
+    gate = threading.Event()
+    app.queue._runner = lambda config: (gate.wait(10.0), fake_payload(config))[1]
+    app.admission.quota = 1
+    body = lambda seed: json.dumps(  # noqa: E731
+        {"config": {"seed": seed}, "client": "greedy"}).encode()
+    status, _, _ = app.respond("POST", "/v1/runs", {}, body(1))
+    assert status == 202
+    status, payload, headers = app.respond("POST", "/v1/runs", {}, body(2))
+    assert status == 429
+    envelope = json.loads(payload)
+    assert envelope["error"]["code"] == "quota_exceeded"
+    assert int(dict(headers)["Retry-After"]) >= 1
+    # Another client's lane is unaffected by greedy's breach.
+    other = json.dumps({"config": {"seed": 3}, "client": "light"}).encode()
+    status, _, _ = app.respond("POST", "/v1/runs", {}, other)
+    assert status == 202
+    assert app.service_metrics()["service.admission.quota_rejections"] == 1
+    gate.set()
+    assert app.queue.drain(timeout=10.0)
+    # Terminal runs release the quota: greedy can submit again.
+    status, _, _ = app.respond("POST", "/v1/runs", {}, body(4))
+    assert status == 202
+    gate.set()
+    assert app.queue.drain(timeout=10.0)
 
 
 def test_cache_eviction_drops_store_payload(app):

@@ -98,7 +98,8 @@ def test_store_lifecycle_and_views():
     assert view.summary == {"jobs": 3}
     assert view.elapsed_s == pytest.approx(2.0)
     assert store.counts() == {
-        "queued": 0, "running": 0, "done": 1, "failed": 0, "total": 1,
+        "queued": 0, "running": 0, "done": 1, "failed": 0,
+        "interrupted": 0, "total": 1,
     }
 
 

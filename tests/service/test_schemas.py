@@ -5,7 +5,15 @@ import json
 import pytest
 
 from repro import Grid3Config
-from repro.service import SchemaError, parse_pagination, parse_run_request
+from repro.service import (
+    ERROR_CODES,
+    ApiError,
+    SchemaError,
+    parse_pagination,
+    parse_run_request,
+    parse_submission,
+)
+from repro.service.schemas import split_hint
 
 
 def body(**payload):
@@ -88,6 +96,45 @@ def test_pagination_defaults_and_parsing():
 def test_pagination_rejects_bad_values(query):
     with pytest.raises(SchemaError):
         parse_pagination(query)
+
+
+def test_submission_defaults_to_anonymous_batch():
+    request = parse_submission(b"")
+    assert request.client == "anonymous" and request.lane == "batch"
+    assert isinstance(request.config, Grid3Config)
+
+
+def test_submission_client_and_lane_parse():
+    request = parse_submission(body(config={"seed": 3},
+                                    client="  uscms  ",
+                                    lane="interactive"))
+    assert request.client == "uscms"  # stripped
+    assert request.lane == "interactive"
+
+
+@pytest.mark.parametrize("client", ["", "   ", 7, None, "x" * 129])
+def test_submission_bad_client_rejected(client):
+    with pytest.raises(SchemaError, match="client"):
+        parse_submission(body(client=client))
+
+
+def test_submission_bad_lane_rejected():
+    with pytest.raises(SchemaError, match="unknown lane"):
+        parse_submission(body(lane="warp"))
+
+
+def test_error_envelope_shape_and_hint_split():
+    error = ApiError(code="bad_request", message="nope", hint="try this")
+    assert json.loads(error.to_json()) == {
+        "error": {"code": "bad_request", "message": "nope",
+                  "hint": "try this"},
+    }
+    assert "bad_request" in ERROR_CODES
+    message, hint = split_hint(
+        "unknown knob 'scal'; did you mean 'scale'?")
+    assert message == "unknown knob 'scal'"
+    assert hint == "did you mean 'scale'?"
+    assert split_hint("plain failure") == ("plain failure", "")
 
 
 def test_validated_request_digests_stably():
